@@ -1,0 +1,124 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * parallel strategy — the paper's community-parallel design vs the
+//!   sequential baseline vs lock-free Hogwild racing updates;
+//! * merge-tree balancing — leaf-count (paper) vs node-count (the
+//!   paper's future work) on a core–periphery-style partition;
+//! * topic count `K` — the time side of the accuracy/time trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use viralcast::embed::hogwild::optimize_hogwild;
+use viralcast::embed::subcascade::IndexedCascade;
+use viralcast::prelude::*;
+use viralcast_bench::standard_sbm;
+
+fn fixture() -> (CascadeSet, Partition) {
+    let experiment = standard_sbm(800, 400, 1);
+    let outcome = infer_embeddings(experiment.train(), &InferOptions::default());
+    (experiment.train().clone(), outcome.partition)
+}
+
+fn bench_parallel_strategy(c: &mut Criterion) {
+    let (cascades, partition) = fixture();
+    let mut group = c.benchmark_group("parallel_strategy");
+    group.sample_size(10);
+
+    let config = HierarchicalConfig {
+        topics: 8,
+        pgd: PgdConfig {
+            max_epochs: 15,
+            ..PgdConfig::default()
+        },
+        ..HierarchicalConfig::default()
+    };
+
+    group.bench_function("sequential", |bench| {
+        bench.iter(|| black_box(infer_sequential(&cascades, &config)))
+    });
+    group.bench_function("hierarchical_leafcount", |bench| {
+        bench.iter(|| black_box(infer(&cascades, &partition, &config)))
+    });
+    let balanced = HierarchicalConfig {
+        balance: Balance::NodeCount,
+        ..config
+    };
+    group.bench_function("hierarchical_nodecount", |bench| {
+        bench.iter(|| black_box(infer(&cascades, &partition, &balanced)))
+    });
+    group.bench_function("hogwild", |bench| {
+        let indexed: Vec<IndexedCascade> = cascades
+            .cascades()
+            .iter()
+            .filter(|cascade| cascade.len() >= 2)
+            .map(IndexedCascade::from_cascade)
+            .collect();
+        let hw_config = PgdConfig {
+            max_epochs: 15,
+            ..PgdConfig::default()
+        };
+        bench.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            use rand::SeedableRng;
+            let mut emb = Embeddings::random(cascades.node_count(), 8, 0.01, 0.1, &mut rng);
+            black_box(optimize_hogwild(&indexed, &mut emb, &hw_config))
+        })
+    });
+    group.finish();
+}
+
+fn bench_balance(c: &mut Criterion) {
+    // A skewed, core–periphery-style partition: one huge community plus
+    // many tiny ones — the case the paper flags as the weakness of
+    // leaf-count balancing.
+    let mut membership = vec![0usize; 400];
+    for (i, m) in membership.iter_mut().enumerate().skip(400 - 120) {
+        *m = 1 + (i % 12);
+    }
+    let partition = Partition::from_membership(&membership);
+    let experiment = standard_sbm(400, 300, 3);
+
+    let mut group = c.benchmark_group("merge_tree_balance");
+    group.sample_size(10);
+    for (name, balance) in [
+        ("leaf_count", Balance::LeafCount),
+        ("node_count", Balance::NodeCount),
+    ] {
+        let config = HierarchicalConfig {
+            topics: 8,
+            balance,
+            pgd: PgdConfig {
+                max_epochs: 10,
+                ..PgdConfig::default()
+            },
+            ..HierarchicalConfig::default()
+        };
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(infer(experiment.train(), &partition, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topics(c: &mut Criterion) {
+    let (cascades, partition) = fixture();
+    let mut group = c.benchmark_group("topic_count");
+    group.sample_size(10);
+    for k in [4usize, 8, 16, 32] {
+        let config = HierarchicalConfig {
+            topics: k,
+            pgd: PgdConfig {
+                max_epochs: 10,
+                ..PgdConfig::default()
+            },
+            ..HierarchicalConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(infer(&cascades, &partition, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_strategy, bench_balance, bench_topics);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Benchmarks of the community machinery: co-occurrence construction,
+//! SLPA, Ward clustering and merge-hierarchy building.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use viralcast::community::jaccard::pairwise_jaccard_distances;
+use viralcast::community::ward::ward_linkage;
+use viralcast::graph::cooccurrence::{CooccurrenceGraph, CooccurrenceOptions};
+use viralcast::graph::sbm;
+use viralcast::prelude::*;
+
+fn corpus(nodes: usize, cascades: usize, seed: u64) -> CascadeSet {
+    let config = SbmConfig::paper_default().with_nodes(nodes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = sbm::generate(&config, &mut rng);
+    let rates = planted_embeddings(
+        &config.ground_truth(),
+        &PlantedConfig::default(),
+        &mut rng,
+    );
+    let sim = Simulator::new(
+        &graph,
+        rates,
+        SimulationConfig {
+            observation_window: 1.0,
+            min_cascade_size: 2,
+            ..SimulationConfig::default()
+        },
+    );
+    sim.simulate_corpus(cascades, &mut rng)
+}
+
+fn bench_cooccurrence(c: &mut Criterion) {
+    let set = corpus(1_000, 500, 1);
+    let sequences = set.node_sequences();
+    c.bench_function("cooccurrence_build_500_cascades", |bench| {
+        bench.iter(|| {
+            black_box(CooccurrenceGraph::build(
+                1_000,
+                &sequences,
+                CooccurrenceOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_slpa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slpa");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let config = SbmConfig::paper_default().with_nodes(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = sbm::generate(&config, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(Slpa::new(SlpaConfig::default()).run(&graph)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ward_linkage");
+    group.sample_size(10);
+    for items in [100usize, 200, 400] {
+        // Jaccard distances over synthetic node sets.
+        let sets: Vec<Vec<NodeId>> = (0..items)
+            .map(|i| {
+                (0..20u32)
+                    .map(|j| NodeId((i as u32 * 7 + j * 13) % 300))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let distances = pairwise_jaccard_distances(&sets);
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |bench, _| {
+            bench.iter(|| black_box(ward_linkage(&distances)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let membership: Vec<usize> = (0..2_000).map(|i| i / 40).collect();
+    let partition = Partition::from_membership(&membership);
+    c.bench_function("merge_hierarchy_build_50_leaves", |bench| {
+        bench.iter(|| {
+            black_box(MergeHierarchy::build(
+                partition.clone(),
+                Balance::NodeCount,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cooccurrence,
+    bench_slpa,
+    bench_ward,
+    bench_hierarchy
+);
+criterion_main!(benches);

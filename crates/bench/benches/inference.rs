@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the inference hot path: the linear-time
+//! likelihood/gradient sweeps (Section IV-A's core claim) and one
+//! parallel level of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use viralcast::embed::gradient::{accumulate_gradients, GradScratch};
+use viralcast::embed::likelihood::cascade_log_likelihood;
+use viralcast::embed::parallel::run_level;
+use viralcast::embed::pgd::optimize;
+use viralcast::embed::subcascade::IndexedCascade;
+use viralcast::prelude::*;
+
+const K: usize = 8;
+
+fn synthetic_cascade(s: usize) -> IndexedCascade {
+    IndexedCascade {
+        rows: (0..s as u32).collect(),
+        times: (0..s).map(|i| i as f64 * 0.1).collect(),
+    }
+}
+
+fn matrices(n: usize, seed: u64) -> Embeddings {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Embeddings::random(n, K, 0.05, 0.5, &mut rng)
+}
+
+/// The sweeps must scale linearly in cascade length — throughput per
+/// infection should be flat across sizes.
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_accumulate");
+    group.sample_size(20);
+    for s in [10usize, 100, 1_000] {
+        let cascade = synthetic_cascade(s);
+        let emb = matrices(s, 1);
+        let a = emb.influence_matrix().to_vec();
+        let b = emb.selectivity_matrix().to_vec();
+        let mut ga = vec![0.0; a.len()];
+        let mut gb = vec![0.0; b.len()];
+        let mut scratch = GradScratch::new(K);
+        group.throughput(Throughput::Elements(s as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |bench, _| {
+            bench.iter(|| {
+                ga.fill(0.0);
+                gb.fill(0.0);
+                black_box(accumulate_gradients(
+                    &cascade, &a, &b, K, &mut ga, &mut gb, &mut scratch,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_likelihood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade_log_likelihood");
+    group.sample_size(20);
+    for s in [10usize, 100, 1_000] {
+        let cascade = synthetic_cascade(s);
+        let emb = matrices(s, 2);
+        let a = emb.influence_matrix().to_vec();
+        let b = emb.selectivity_matrix().to_vec();
+        group.throughput(Throughput::Elements(s as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |bench, _| {
+            bench.iter(|| black_box(cascade_log_likelihood(&cascade, &a, &b, K)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgd_epoch(c: &mut Criterion) {
+    let cascades: Vec<IndexedCascade> = (0..100).map(|i| synthetic_cascade(10 + i % 30)).collect();
+    let emb = matrices(40, 3);
+    let config = PgdConfig {
+        max_epochs: 1,
+        ..PgdConfig::default()
+    };
+    c.bench_function("pgd_one_epoch_100_cascades", |bench| {
+        bench.iter(|| {
+            let mut e = emb.clone();
+            let (a, b) = e.matrices_mut();
+            black_box(optimize(&cascades, a, b, K, &config))
+        })
+    });
+}
+
+fn bench_parallel_level(c: &mut Criterion) {
+    // 8 groups of 50 rows, 40 sub-cascades each.
+    let groups: Vec<Vec<IndexedCascade>> = (0..8)
+        .map(|_| (0..40).map(|i| synthetic_cascade(5 + i % 20)).collect())
+        .collect();
+    let ranges: Vec<std::ops::Range<usize>> = (0..8).map(|g| g * 50..(g + 1) * 50).collect();
+    let emb = matrices(400, 4);
+    let config = PgdConfig {
+        max_epochs: 3,
+        ..PgdConfig::default()
+    };
+    let mut group = c.benchmark_group("algorithm1_level");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut e = emb.clone();
+                    pool.install(|| black_box(run_level(&mut e, &ranges, &groups, &config)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gradient,
+    bench_likelihood,
+    bench_pgd_epoch,
+    bench_parallel_level
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks of the prediction stage: feature extraction, SVM
+//! training and cross-validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use viralcast::prelude::*;
+
+fn bench_features(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let emb = Embeddings::random(2_000, 8, 0.05, 1.0, &mut rng);
+    let mut group = c.benchmark_group("extract_features");
+    for adopters in [5usize, 20, 80] {
+        let nodes: Vec<NodeId> = (0..adopters).map(NodeId::new).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(adopters),
+            &adopters,
+            |bench, _| bench.iter(|| black_box(extract_features(&emb, &nodes))),
+        );
+    }
+    group.finish();
+}
+
+fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<i8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    use rand::Rng;
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let ys: Vec<i8> = xs
+        .iter()
+        .map(|x| if x[0] + 0.5 * x[1] > 0.1 { 1 } else { -1 })
+        .collect();
+    (xs, ys)
+}
+
+fn bench_svm_train(c: &mut Criterion) {
+    let (xs, ys) = dataset(1_000, 2);
+    let config = SvmConfig {
+        steps: 20_000,
+        ..SvmConfig::default()
+    };
+    c.bench_function("svm_train_20k_steps", |bench| {
+        bench.iter(|| black_box(LinearSvm::train(&xs, &ys, &config)))
+    });
+}
+
+fn bench_cross_validation(c: &mut Criterion) {
+    let (xs, ys) = dataset(500, 3);
+    let config = SvmConfig {
+        steps: 5_000,
+        ..SvmConfig::default()
+    };
+    let mut group = c.benchmark_group("cross_validate");
+    group.sample_size(10);
+    group.bench_function("10fold_500_samples", |bench| {
+        bench.iter(|| black_box(cross_validate(&xs, &ys, 10, &config, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features, bench_svm_train, bench_cross_validation);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Benchmarks of the continuous-time propagation simulator and the
+//! synthetic world generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use viralcast::gdelt::{GdeltConfig, GdeltWorld};
+use viralcast::graph::sbm;
+use viralcast::prelude::*;
+
+fn bench_sbm_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbm_generate");
+    group.sample_size(10);
+    for n in [1_000usize, 2_000, 4_000] {
+        let config = SbmConfig::paper_default().with_nodes(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(sbm::generate(&config, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascade_simulation(c: &mut Criterion) {
+    let config = SbmConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = sbm::generate(&config, &mut rng);
+    let rates = planted_embeddings(
+        &config.ground_truth(),
+        &PlantedConfig {
+            on_topic: 10.0,
+            off_topic: 0.002,
+            jitter: 0.5,
+        },
+        &mut rng,
+    );
+    let sim = Simulator::new(
+        &graph,
+        rates,
+        SimulationConfig {
+            observation_window: 1.0,
+            ..SimulationConfig::default()
+        },
+    );
+    c.bench_function("simulate_cascade_sbm2000", |bench| {
+        let mut rng = StdRng::seed_from_u64(2);
+        bench.iter(|| black_box(sim.simulate(&mut rng)))
+    });
+    c.bench_function("simulate_corpus_50_sbm2000", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| black_box(sim.simulate_corpus(50, &mut rng)))
+    });
+}
+
+fn bench_gdelt_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gdelt");
+    group.sample_size(10);
+    group.bench_function("generate_world_1200", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(GdeltWorld::generate(
+                GdeltConfig {
+                    sites: 1_200,
+                    ..GdeltConfig::default()
+                },
+                &mut rng,
+            ))
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let world = GdeltWorld::generate(
+        GdeltConfig {
+            sites: 1_200,
+            ..GdeltConfig::default()
+        },
+        &mut rng,
+    );
+    group.bench_function("simulate_200_events", |bench| {
+        let mut rng = StdRng::seed_from_u64(2);
+        bench.iter(|| black_box(world.simulate_events(200, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sbm_generation,
+    bench_cascade_simulation,
+    bench_gdelt_world
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regulariser ablation: how should signal-free rates be suppressed?
+//!
+//! The paper's objective (eq. 8) only constrains node pairs that
+//! co-occur in cascades; pairs that never interact keep whatever rate
+//! the random initialisation implies. Two remedies are implemented:
+//!
+//! * **L1 shrinkage** (`PgdConfig::l1_penalty`) — drive signal-free
+//!   components to zero (the pipeline default);
+//! * **right-censoring** (`PgdConfig::censoring_window`) — the
+//!   survival-analysis answer: nodes observed uninfected contribute
+//!   their log-survival, actively pushing non-interacting rates down.
+//!
+//! The harness measures the intra/inter-community rate contrast of the
+//! recovered embeddings under each regime, plus runtime.
+//!
+//! ```text
+//! cargo run --release -p viralcast-bench --bin ablation_regularizers -- \
+//!     --nodes 400 --cascades 600
+//! ```
+
+use viralcast::prelude::*;
+use viralcast_bench::{print_table, standard_sbm_local, timed, Flags};
+
+fn contrast(emb: &Embeddings, membership: &[usize]) -> (f64, f64) {
+    let n = membership.len();
+    let mut intra = (0.0, 0usize);
+    let mut inter = (0.0, 0usize);
+    let step = (n / 60).max(1);
+    for u in (0..n).step_by(step) {
+        for v in (0..n).step_by(step) {
+            if u == v {
+                continue;
+            }
+            let r = emb.rate(NodeId::new(u), NodeId::new(v));
+            if membership[u] == membership[v] {
+                intra = (intra.0 + r, intra.1 + 1);
+            } else {
+                inter = (inter.0 + r, inter.1 + 1);
+            }
+        }
+    }
+    (
+        intra.0 / intra.1.max(1) as f64,
+        inter.0 / inter.1.max(1) as f64,
+    )
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let nodes = flags.usize("nodes", 400);
+    let cascades = flags.usize("cascades", 600);
+    let seed = flags.u64("seed", 3);
+
+    println!("== Ablation: suppressing signal-free rates ==");
+    let experiment = standard_sbm_local(nodes, cascades, seed);
+    let membership = experiment.planted_membership();
+    let window = experiment.config().observation_window;
+
+    let regimes: Vec<(&str, f64, Option<f64>)> = vec![
+        ("none (paper eq. 8)", 0.0, None),
+        ("L1 = 5", 5.0, None),
+        ("censoring", 0.0, Some(window)),
+        ("L1 + censoring", 5.0, Some(window)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, l1, censor) in regimes {
+        let mut options = InferOptions::default();
+        options.hierarchical.pgd.l1_penalty = l1;
+        options.hierarchical.pgd.censoring_window = censor;
+        let (outcome, secs) = timed(|| infer_embeddings(experiment.train(), &options));
+        let (intra, inter) = contrast(&outcome.embeddings, &membership);
+        rows.push(vec![
+            name.to_string(),
+            format!("{secs:.2}"),
+            format!("{intra:.3}"),
+            format!("{inter:.4}"),
+            format!("{:.1}", intra / inter.max(1e-9)),
+        ]);
+    }
+    print_table(
+        &["regulariser", "seconds", "intra rate", "inter rate", "contrast"],
+        &rows,
+    );
+    println!(
+        "\n(higher contrast = recovered rates separate planted communities better;\n\
+         the planted ground truth here has contrast ≈ {:.0})",
+        experiment.rate_contrast()
+    );
+}

@@ -1,0 +1,98 @@
+//! Figure 10 — processing time vs core count for different corpus
+//! sizes.
+//!
+//! The paper times the parallel inference on an SBM graph with 2 000
+//! nodes, processing C = 1 000 / 2 000 / 3 000 cascades on 1, 2, 4, …,
+//! 64 cores, and observes (a) time falls sharply with cores and
+//! (b) time is roughly linear in the number of cascades.
+//!
+//! Community detection runs once per corpus (its parameters are held
+//! fixed across core counts, as in the paper), and only the
+//! hierarchical optimisation is timed. Core counts beyond the machine's
+//! physical parallelism are still measured but flagged — a laptop
+//! cannot reproduce the 64-core end of the x-axis, only the shape up to
+//! its own core count.
+//!
+//! Measurements are saved to `target/viralcast-bench/fig10.json` so
+//! that `fig13_speedup` can reuse them.
+//!
+//! ```text
+//! cargo run --release -p viralcast-bench --bin fig10_time_vs_cores -- \
+//!     --nodes 2000 --max-cores 64 --repeats 1
+//! ```
+
+use viralcast::prelude::*;
+use viralcast_bench::{
+    core_sweep, print_table, save_timings, standard_sbm_local as standard_sbm, time_inference, Flags, TimingPoint,
+    TimingSet,
+};
+
+fn main() {
+    let flags = Flags::from_env();
+    let nodes = flags.usize("nodes", 2_000);
+    let max_cores = flags.usize(
+        "max-cores",
+        std::thread::available_parallelism().map_or(8, |n| n.get()),
+    );
+    let repeats = flags.usize("repeats", 1);
+    let seed = flags.u64("seed", 1);
+    let corpus_sizes: Vec<usize> = if flags.has("quick") {
+        vec![250, 500]
+    } else {
+        vec![1_000, 2_000, 3_000]
+    };
+
+    let physical = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Figure 10: processing time vs #cores (SBM, {nodes} nodes) ==");
+    println!("physical parallelism here: {physical} (points beyond it are oversubscribed)\n");
+
+    let cores = core_sweep(max_cores);
+    let mut set = TimingSet::default();
+    let mut rows = Vec::new();
+
+    for &c in &corpus_sizes {
+        // Fresh corpus of C cascades; SLPA once.
+        let experiment = standard_sbm(nodes, c, seed);
+        let outcome = infer_embeddings(experiment.train(), &InferOptions::default());
+        let partition = outcome.partition;
+        let all = experiment.train().clone();
+        let hier = InferOptions::default().hierarchical;
+        let hier = HierarchicalConfig {
+            topics: InferOptions::default().topics,
+            ..hier
+        };
+        for &p in &cores {
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats.max(1) {
+                best = best.min(time_inference(&all, &partition, &hier, p));
+            }
+            set.points.push(TimingPoint {
+                cores: p,
+                cascades: c,
+                nodes,
+                seconds: best,
+            });
+            rows.push(vec![
+                format!("{c}"),
+                format!("{p}{}", if p > physical { "*" } else { "" }),
+                format!("{best:.2}"),
+            ]);
+            println!("C = {c:>5}, cores = {p:>3}: {best:.2}s");
+        }
+    }
+
+    println!("\nsummary (cores marked * exceed physical parallelism):");
+    print_table(&["cascades", "cores", "seconds"], &rows);
+
+    // The paper's second observation: time ~linear in C at fixed cores.
+    if corpus_sizes.len() >= 2 {
+        println!("\ntime vs corpus size at 1 core (paper: \"generally linear\"):");
+        for &c in &corpus_sizes {
+            if let Some(t) = set.t1(c, nodes) {
+                println!("  C = {c:>5}: {t:.2}s  ({:.2} ms/cascade)", 1000.0 * t / c as f64);
+            }
+        }
+    }
+
+    save_timings("fig10.json", &set);
+}

@@ -1,0 +1,371 @@
+//! SLPA — Speaker-Listener Label Propagation (Xie, Szymanski & Liu,
+//! ICDMW 2011), the community-detection step of Section IV-B.
+//!
+//! Every node keeps a memory of labels, initialised with its own id. In
+//! each of `iterations` rounds, every node in turn plays *listener*: each
+//! of its neighbours (*speakers*) utters one label drawn from its own
+//! memory with probability proportional to that label's frequency, the
+//! listener tallies the utterances weighted by edge weight, and appends
+//! the winning label to its memory. Post-processing keeps, per node, the
+//! labels whose memory frequency clears a threshold `r` (overlapping
+//! output) and the most frequent label (disjoint output — what the
+//! parallel inference uses).
+//!
+//! The implementation is deterministic given the seed: label memories are
+//! stored as sorted vectors and all tie-breaks favour the smallest label.
+
+use crate::partition::Partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use viralcast_graph::{DiGraph, NodeId};
+
+/// SLPA parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlpaConfig {
+    /// Number of speaker-listener rounds (the original paper suggests
+    /// ≥ 20; memories then hold `iterations + 1` labels).
+    pub iterations: usize,
+    /// Post-processing probability threshold for the overlapping output.
+    pub threshold: f64,
+    /// RNG seed; the run is fully deterministic given this.
+    pub seed: u64,
+}
+
+impl Default for SlpaConfig {
+    fn default() -> Self {
+        SlpaConfig {
+            iterations: 30,
+            threshold: 0.1,
+            seed: 0x51_9A,
+        }
+    }
+}
+
+/// A label memory: sorted `(label, count)` pairs.
+#[derive(Clone, Debug, Default)]
+struct Memory {
+    entries: Vec<(usize, u32)>,
+    total: u32,
+}
+
+impl Memory {
+    fn with_initial(label: usize) -> Self {
+        Memory {
+            entries: vec![(label, 1)],
+            total: 1,
+        }
+    }
+
+    fn add(&mut self, label: usize) {
+        match self.entries.binary_search_by_key(&label, |e| e.0) {
+            Ok(i) => self.entries[i].1 += 1,
+            Err(i) => self.entries.insert(i, (label, 1)),
+        }
+        self.total += 1;
+    }
+
+    /// Samples a label proportionally to its count.
+    fn speak<R: Rng>(&self, rng: &mut R) -> usize {
+        debug_assert!(self.total > 0);
+        let mut pick = rng.gen_range(0..self.total);
+        for &(label, count) in &self.entries {
+            if pick < count {
+                return label;
+            }
+            pick -= count;
+        }
+        unreachable!("memory total inconsistent")
+    }
+
+    /// Most frequent label, smallest label on ties.
+    fn dominant(&self) -> usize {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(l, _)| l)
+            .expect("memory never empty")
+    }
+
+    /// Labels with frequency ≥ threshold.
+    fn above(&self, threshold: f64) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter(|&&(_, c)| c as f64 / self.total as f64 >= threshold)
+            .map(|&(l, _)| l)
+            .collect()
+    }
+}
+
+/// The SLPA detector.
+#[derive(Clone, Debug)]
+pub struct Slpa {
+    config: SlpaConfig,
+}
+
+/// SLPA output: the disjoint partition plus the overlapping memberships.
+#[derive(Clone, Debug)]
+pub struct SlpaResult {
+    /// Disjoint communities from each node's dominant label.
+    pub partition: Partition,
+    /// Per node, the labels clearing the probability threshold
+    /// (overlapping communities; labels are raw, not compacted).
+    pub overlapping: Vec<Vec<usize>>,
+}
+
+impl Slpa {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: SlpaConfig) -> Self {
+        assert!(config.iterations > 0, "SLPA needs at least one round");
+        assert!(
+            (0.0..=1.0).contains(&config.threshold),
+            "threshold must be a probability"
+        );
+        Slpa { config }
+    }
+
+    /// Runs SLPA on the undirected view of `graph` (callers typically
+    /// pass a co-occurrence graph symmetrised via
+    /// [`viralcast_graph::DiGraph::to_undirected`]).
+    ///
+    /// ```
+    /// use viralcast_community::{Slpa, SlpaConfig};
+    /// use viralcast_graph::{GraphBuilder, NodeId};
+    ///
+    /// // Two triangles joined by one weak edge.
+    /// let mut b = GraphBuilder::new(6);
+    /// for base in [0u32, 3] {
+    ///     b.add_undirected_edge(NodeId(base), NodeId(base + 1), 1.0);
+    ///     b.add_undirected_edge(NodeId(base + 1), NodeId(base + 2), 1.0);
+    ///     b.add_undirected_edge(NodeId(base), NodeId(base + 2), 1.0);
+    /// }
+    /// b.add_undirected_edge(NodeId(2), NodeId(3), 0.05);
+    /// let result = Slpa::new(SlpaConfig::default()).run(&b.build());
+    /// assert_eq!(result.partition.node_count(), 6);
+    /// ```
+    pub fn run(&self, graph: &DiGraph) -> SlpaResult {
+        let n = graph.node_count();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut memories: Vec<Memory> = (0..n).map(Memory::with_initial).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _ in 0..self.config.iterations {
+            shuffle(&mut order, &mut rng);
+            for &listener in &order {
+                let lu = NodeId::new(listener);
+                let neighbors = graph.out_neighbors(lu);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let weights = graph.out_weights(lu);
+                // Tally weighted utterances; small sorted vec keeps the
+                // iteration order deterministic.
+                let mut votes: Vec<(usize, f64)> = Vec::with_capacity(neighbors.len());
+                for (&speaker, &w) in neighbors.iter().zip(weights) {
+                    let label = memories[speaker.index()].speak(&mut rng);
+                    match votes.binary_search_by_key(&label, |v| v.0) {
+                        Ok(i) => votes[i].1 += w,
+                        Err(i) => votes.insert(i, (label, w)),
+                    }
+                }
+                // Ties are broken uniformly at random (deterministic via
+                // the seeded rng): a fixed tie-break such as "smallest
+                // label" systematically floods low node ids across weak
+                // inter-community bridges and merges planted blocks.
+                let max_w = votes
+                    .iter()
+                    .map(|v| v.1)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let top: Vec<usize> = votes
+                    .iter()
+                    .filter(|v| v.1 >= max_w - 1e-12)
+                    .map(|v| v.0)
+                    .collect();
+                let winner = top[rng.gen_range(0..top.len())];
+                memories[listener].add(winner);
+            }
+        }
+
+        let raw: Vec<usize> = memories.iter().map(Memory::dominant).collect();
+        let overlapping = memories
+            .iter()
+            .map(|m| m.above(self.config.threshold))
+            .collect();
+        SlpaResult {
+            partition: Partition::from_membership(&raw),
+            overlapping,
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (avoids pulling in rand's `SliceRandom` trait for
+/// one call site and keeps the sampling sequence explicit).
+fn shuffle<R: Rng>(xs: &mut [usize], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use viralcast_graph::{sbm, GraphBuilder, SbmConfig};
+
+    fn two_cliques_with_bridge() -> DiGraph {
+        // Clique {0,1,2,3} and clique {4,5,6,7}, one weak bridge 3-4.
+        let mut b = GraphBuilder::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_undirected_edge(NodeId(base + i), NodeId(base + j), 1.0);
+                }
+            }
+        }
+        b.add_undirected_edge(NodeId(3), NodeId(4), 0.05);
+        b.build()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        // SLPA is stochastic; on tiny graphs a single run can fragment a
+        // clique, so require a clear majority of perfect separations
+        // across seeds (empirically ~95 % succeed).
+        let g = two_cliques_with_bridge();
+        let mut perfect = 0;
+        for seed in 0..9u64 {
+            let cfg = SlpaConfig {
+                seed,
+                ..SlpaConfig::default()
+            };
+            let p = Slpa::new(cfg).run(&g).partition;
+            let clean = (1..4u32).all(|i| {
+                p.community_of(NodeId(0)) == p.community_of(NodeId(i))
+                    && p.community_of(NodeId(4)) == p.community_of(NodeId(4 + i))
+            }) && p.community_of(NodeId(0)) != p.community_of(NodeId(4));
+            if clean {
+                perfect += 1;
+            }
+        }
+        assert!(perfect >= 6, "only {perfect}/9 seeds separated the cliques");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = two_cliques_with_bridge();
+        let a = Slpa::new(SlpaConfig::default()).run(&g).partition;
+        let b = Slpa::new(SlpaConfig::default()).run(&g).partition;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_labels() {
+        let g = DiGraph::empty(3);
+        let result = Slpa::new(SlpaConfig::default()).run(&g);
+        assert_eq!(result.partition.community_count(), 3);
+    }
+
+    #[test]
+    fn overlapping_includes_dominant_label() {
+        let g = two_cliques_with_bridge();
+        let result = Slpa::new(SlpaConfig::default()).run(&g);
+        for (node, labels) in result.overlapping.iter().enumerate() {
+            assert!(
+                !labels.is_empty(),
+                "node {node} lost all labels in post-processing"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_planted_sbm_blocks() {
+        // A small, strongly separated SBM: SLPA should recover blocks
+        // nearly perfectly (checked via pairwise agreement > 0.9).
+        let cfg = SbmConfig {
+            nodes: 120,
+            community_size: 30,
+            intra_prob: 0.5,
+            inter_prob: 0.005,
+        };
+        let g = sbm::generate(&cfg, &mut StdRng::seed_from_u64(1));
+        let gt = cfg.ground_truth();
+        let p = Slpa::new(SlpaConfig::default()).run(&g).partition;
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..cfg.nodes {
+            for j in (i + 1)..cfg.nodes {
+                total += 1;
+                let same_gt = gt[i] == gt[j];
+                let same_p =
+                    p.community_of(NodeId::new(i)) == p.community_of(NodeId::new(j));
+                if same_gt == same_p {
+                    agree += 1;
+                }
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.9, "pairwise agreement {rate} too low");
+    }
+
+    #[test]
+    fn memory_speak_distribution_tracks_counts() {
+        let mut m = Memory::with_initial(2);
+        for _ in 0..9 {
+            m.add(5);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let fives = (0..1000).filter(|_| m.speak(&mut rng) == 5).count();
+        // Label 5 holds 9/10 of the memory.
+        assert!((850..=950).contains(&fives), "got {fives}");
+    }
+
+    #[test]
+    fn memory_dominant_breaks_ties_low() {
+        let mut m = Memory::with_initial(4);
+        m.add(1);
+        // counts: {4:1, 1:1} — tie broken towards smaller label.
+        assert_eq!(m.dominant(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_iterations_rejected() {
+        Slpa::new(SlpaConfig {
+            iterations: 0,
+            ..SlpaConfig::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use viralcast_graph::GraphBuilder;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// SLPA always outputs a full partition covering every node.
+        #[test]
+        fn output_is_total_partition(
+            edges in prop::collection::vec((0u32..12, 0u32..12, 0.1f64..2.0), 0..50),
+            seed in 0u64..100,
+        ) {
+            let mut b = GraphBuilder::new(12);
+            for &(u, v, w) in &edges {
+                if u != v {
+                    b.add_undirected_edge(NodeId(u), NodeId(v), w);
+                }
+            }
+            let g = b.build();
+            let cfg = SlpaConfig { iterations: 10, threshold: 0.1, seed };
+            let result = Slpa::new(cfg).run(&g);
+            prop_assert_eq!(result.partition.node_count(), 12);
+            prop_assert!(result.partition.community_count() >= 1);
+            prop_assert!(result.partition.community_count() <= 12);
+        }
+    }
+}

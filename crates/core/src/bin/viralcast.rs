@@ -1,0 +1,265 @@
+//! `viralcast` — command-line interface to the full pipeline.
+//!
+//! ```text
+//! viralcast simulate-sbm   --nodes 2000 --cascades 3000 --out corpus.jsonl
+//! viralcast simulate-gdelt --sites 2000 --events 2600 --out mentions.csv
+//! viralcast infer          --corpus corpus.jsonl --topics 8 --out embeddings.json
+//! viralcast predict        --corpus test.jsonl --embeddings embeddings.json --window 1.0
+//! viralcast influencers    --embeddings embeddings.json --top 10
+//! ```
+//!
+//! Every subcommand is deterministic given `--seed`. `--threads N`
+//! bounds the rayon pool (default: all available).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use viralcast::prelude::*;
+use viralcast::propagation::store;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(args);
+
+    if let Some(threads) = flags.get_usize("threads") {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .ok();
+    }
+
+    let result = match command.as_str() {
+        "simulate-sbm" => simulate_sbm(&flags),
+        "simulate-gdelt" => simulate_gdelt(&flags),
+        "infer" => infer_cmd(&flags),
+        "predict" => predict_cmd(&flags),
+        "influencers" => influencers_cmd(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+viralcast — predicting viral news events in online media
+
+USAGE:
+  viralcast simulate-sbm   --out FILE [--nodes N] [--cascades C] [--seed S] [--local]
+  viralcast simulate-gdelt --out FILE [--sites N] [--events E] [--seed S]
+  viralcast infer          --corpus FILE --out FILE [--topics K] [--seed S] [--threads T]
+  viralcast predict        --corpus FILE --embeddings FILE [--window W] [--early F] [--top P]
+  viralcast influencers    --embeddings FILE [--top K]";
+
+fn simulate_sbm(flags: &Flags) -> Result<(), String> {
+    let out = flags.require_path("out")?;
+    let nodes = flags.usize("nodes", 2_000);
+    let cascades = flags.usize("cascades", 3_000);
+    let seed = flags.u64("seed", 1);
+    let mut config = SbmExperimentConfig {
+        sbm: SbmConfig {
+            nodes,
+            community_size: 40,
+            intra_prob: 0.2,
+            inter_prob: 0.001,
+        },
+        cascades,
+        ..SbmExperimentConfig::default()
+    };
+    if flags.has("local") {
+        config.planted = PlantedConfig {
+            on_topic: 1.2,
+            off_topic: 0.02,
+            jitter: 0.3,
+        };
+    }
+    let experiment = SbmExperiment::build(&config, seed);
+    // Persist the full corpus (train ∥ test in order).
+    let mut all = experiment.train().clone();
+    for c in experiment.test().cascades() {
+        all.push(c.clone());
+    }
+    store::save(&all, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} cascades over {nodes} nodes to {}",
+        all.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn simulate_gdelt(flags: &Flags) -> Result<(), String> {
+    let out = flags.require_path("out")?;
+    let sites = flags.usize("sites", 2_000);
+    let events = flags.usize("events", 2_600);
+    let seed = flags.u64("seed", 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let world = GdeltWorld::generate(
+        GdeltConfig {
+            sites,
+            ..GdeltConfig::default()
+        },
+        &mut rng,
+    );
+    let table = world.simulate_events(events, &mut rng);
+    table.save_csv(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} mentions of {events} events across {sites} sites to {}",
+        table.mentions().len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn infer_cmd(flags: &Flags) -> Result<(), String> {
+    let corpus_path = flags.require_path("corpus")?;
+    let out = flags.require_path("out")?;
+    let topics = flags.usize("topics", 8);
+    let corpus = load_corpus(&corpus_path)?;
+    println!(
+        "inferring {topics}-topic embeddings from {} cascades over {} nodes…",
+        corpus.len(),
+        corpus.node_count()
+    );
+    let start = std::time::Instant::now();
+    let outcome = infer_embeddings(
+        &corpus,
+        &InferOptions {
+            topics,
+            ..InferOptions::default()
+        },
+    );
+    println!(
+        "…done in {:.1}s ({} communities, final LL {:.1})",
+        start.elapsed().as_secs_f64(),
+        outcome.partition.community_count(),
+        outcome.report.final_ll()
+    );
+    outcome
+        .embeddings
+        .save_json(&out)
+        .map_err(|e| e.to_string())?;
+    println!("embeddings saved to {}", out.display());
+    Ok(())
+}
+
+fn predict_cmd(flags: &Flags) -> Result<(), String> {
+    let corpus_path = flags.require_path("corpus")?;
+    let emb_path = flags.require_path("embeddings")?;
+    let window = flags.f64("window", 1.0);
+    let early = flags.f64("early", 2.0 / 7.0);
+    let top = flags.f64("top", 0.2);
+    let corpus = load_corpus(&corpus_path)?;
+    let embeddings = Embeddings::load_json(&emb_path).map_err(|e| e.to_string())?;
+    if embeddings.node_count() < corpus.node_count() {
+        return Err(format!(
+            "embeddings cover {} nodes but the corpus references {}",
+            embeddings.node_count(),
+            corpus.node_count()
+        ));
+    }
+    let task = PredictionTask {
+        window,
+        early_fraction: early,
+        ..PredictionTask::default()
+    };
+    let dataset = extract_dataset(&embeddings, &corpus, &task);
+    let max = dataset.sizes.iter().copied().max().unwrap_or(0);
+    let mut thresholds: Vec<usize> = (0..max).step_by((max / 10).max(1)).collect();
+    thresholds.push(dataset.top_fraction_threshold(top));
+    thresholds.sort_unstable();
+    thresholds.dedup();
+    println!("{:>8} {:>8} {:>7} {:>7} {:>7}", "size >", "#viral", "F1", "prec", "recall");
+    for p in threshold_sweep(&dataset, &thresholds, &task) {
+        println!(
+            "{:>8} {:>8} {:>7.3} {:>7.3} {:>7.3}",
+            p.threshold, p.positives, p.f1, p.precision, p.recall
+        );
+    }
+    Ok(())
+}
+
+fn influencers_cmd(flags: &Flags) -> Result<(), String> {
+    let emb_path = flags.require_path("embeddings")?;
+    let top = flags.usize("top", 10);
+    let embeddings = Embeddings::load_json(&emb_path).map_err(|e| e.to_string())?;
+    println!("{:>6} {:>8} {:>10}", "rank", "node", "‖A‖");
+    for (i, r) in top_influencers(&embeddings, top).iter().enumerate() {
+        println!("{:>6} {:>8} {:>10.4}", i + 1, r.node.0, r.score);
+    }
+    Ok(())
+}
+
+fn load_corpus(path: &Path) -> Result<CascadeSet, String> {
+    store::load(path).map_err(|e| format!("cannot load corpus {}: {e}", path.display()))
+}
+
+/// Minimal `--flag value` parser (kept local so the binary has no extra
+/// dependencies).
+struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    fn parse<I: Iterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                values.insert(key.to_string(), value);
+            }
+        }
+        Flags { values }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    fn get_usize(&self, key: &str) -> Option<usize> {
+        self.values.get(key).and_then(|v| v.parse().ok())
+    }
+
+    fn usize(&self, key: &str, default: usize) -> usize {
+        self.get_usize(key).unwrap_or(default)
+    }
+
+    fn u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn require_path(&self, key: &str) -> Result<PathBuf, String> {
+        self.values
+            .get(key)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the `viralcast` command-line binary: the full
+//! simulate → infer → predict → influencers loop through files and
+//! process boundaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_viralcast"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("viralcast-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn full_cli_round_trip() {
+    let corpus = temp("corpus.jsonl");
+    let embeddings = temp("embeddings.json");
+
+    let out = bin()
+        .args(["simulate-sbm", "--nodes", "150", "--cascades", "80", "--local"])
+        .args(["--seed", "5", "--out", corpus.to_str().unwrap()])
+        .output()
+        .expect("simulate-sbm runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(corpus.exists());
+
+    let out = bin()
+        .args(["infer", "--corpus", corpus.to_str().unwrap()])
+        .args(["--topics", "4", "--out", embeddings.to_str().unwrap()])
+        .output()
+        .expect("infer runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("communities"), "unexpected output: {stdout}");
+
+    let out = bin()
+        .args(["predict", "--corpus", corpus.to_str().unwrap()])
+        .args(["--embeddings", embeddings.to_str().unwrap()])
+        .output()
+        .expect("predict runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("F1"), "missing F1 table: {stdout}");
+
+    let out = bin()
+        .args(["influencers", "--embeddings", embeddings.to_str().unwrap()])
+        .args(["--top", "5"])
+        .output()
+        .expect("influencers runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Header plus five ranked rows.
+    assert_eq!(stdout.lines().count(), 6, "output: {stdout}");
+
+    std::fs::remove_file(&corpus).ok();
+    std::fs::remove_file(&embeddings).ok();
+}
+
+#[test]
+fn gdelt_csv_export() {
+    let mentions = temp("mentions.csv");
+    let out = bin()
+        .args(["simulate-gdelt", "--sites", "300", "--events", "50"])
+        .args(["--seed", "2", "--out", mentions.to_str().unwrap()])
+        .output()
+        .expect("simulate-gdelt runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&mentions).unwrap();
+    assert!(text.starts_with("site,event,hour"));
+    assert!(text.lines().count() > 50);
+    std::fs::remove_file(&mentions).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = bin().arg("infer").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--corpus"), "stderr: {stderr}");
+}
+
+#[test]
+fn predict_rejects_mismatched_universes() {
+    let corpus = temp("mismatch-corpus.jsonl");
+    let embeddings = temp("mismatch-emb.json");
+    bin()
+        .args(["simulate-sbm", "--nodes", "150", "--cascades", "30", "--local"])
+        .args(["--seed", "1", "--out", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    // Embeddings over a smaller universe.
+    let small = temp("small-corpus.jsonl");
+    bin()
+        .args(["simulate-sbm", "--nodes", "50", "--cascades", "30", "--local"])
+        .args(["--seed", "1", "--out", small.to_str().unwrap()])
+        .output()
+        .unwrap();
+    bin()
+        .args(["infer", "--corpus", small.to_str().unwrap()])
+        .args(["--topics", "2", "--out", embeddings.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["predict", "--corpus", corpus.to_str().unwrap()])
+        .args(["--embeddings", embeddings.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nodes"), "stderr: {stderr}");
+    for p in [corpus, embeddings, small] {
+        std::fs::remove_file(p).ok();
+    }
+}

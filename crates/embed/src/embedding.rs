@@ -1,0 +1,370 @@
+//! The influence/selectivity matrix pair.
+//!
+//! `A` and `B` are dense row-major `n × K` matrices of non-negative
+//! reals. The number of latent variables is `2nK` — "linear to the number
+//! of nodes", the paper's headline advantage over `O(n²)` edge models.
+//!
+//! For the parallel algorithms the matrices can be *re-laid-out*: rows
+//! permuted so that each community occupies a contiguous block
+//! ([`Embeddings::reorder`]), handed out as disjoint `&mut` blocks, and
+//! permuted back ([`Embeddings::restore`]) when inference finishes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use viralcast_graph::NodeId;
+
+/// The pair of non-negative embedding matrices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Embeddings {
+    n: usize,
+    k: usize,
+    /// Influence matrix `A`, row-major `n × k`.
+    a: Vec<f64>,
+    /// Selectivity matrix `B`, row-major `n × k`.
+    b: Vec<f64>,
+}
+
+impl Embeddings {
+    /// Zero-initialised embeddings.
+    pub fn zeros(n: usize, k: usize) -> Self {
+        assert!(k > 0, "at least one topic required");
+        Embeddings {
+            n,
+            k,
+            a: vec![0.0; n * k],
+            b: vec![0.0; n * k],
+        }
+    }
+
+    /// Random uniform initialisation in `[lo, hi)` — gradient ascent
+    /// needs strictly positive starting points so the `ln` term is
+    /// finite.
+    pub fn random<R: Rng>(n: usize, k: usize, lo: f64, hi: f64, rng: &mut R) -> Self {
+        assert!(0.0 <= lo && lo < hi, "need 0 <= lo < hi");
+        assert!(k > 0, "at least one topic required");
+        let mut gen = || rng.gen_range(lo..hi);
+        let a = (0..n * k).map(|_| gen()).collect();
+        let b = (0..n * k).map(|_| gen()).collect();
+        Embeddings { n, k, a, b }
+    }
+
+    /// Wraps existing matrices.
+    pub fn from_matrices(n: usize, k: usize, a: Vec<f64>, b: Vec<f64>) -> Self {
+        assert_eq!(a.len(), n * k, "A shape mismatch");
+        assert_eq!(b.len(), n * k, "B shape mismatch");
+        Embeddings { n, k, a, b }
+    }
+
+    /// Number of nodes (rows).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of topics (columns).
+    pub fn topic_count(&self) -> usize {
+        self.k
+    }
+
+    /// Influence row `A_u`.
+    #[inline]
+    pub fn influence(&self, u: NodeId) -> &[f64] {
+        let i = u.index() * self.k;
+        &self.a[i..i + self.k]
+    }
+
+    /// Selectivity row `B_u`.
+    #[inline]
+    pub fn selectivity(&self, u: NodeId) -> &[f64] {
+        let i = u.index() * self.k;
+        &self.b[i..i + self.k]
+    }
+
+    /// The full influence matrix (row-major).
+    pub fn influence_matrix(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// The full selectivity matrix (row-major).
+    pub fn selectivity_matrix(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Mutable views of both matrices (for the optimisers).
+    pub fn matrices_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.a, &mut self.b)
+    }
+
+    /// The modelled transmission rate `⟨A_u, B_v⟩` (eq. 6).
+    ///
+    /// ```
+    /// use viralcast_embed::Embeddings;
+    /// use viralcast_graph::NodeId;
+    /// let emb = Embeddings::from_matrices(
+    ///     2, 2,
+    ///     vec![1.0, 2.0,  0.0, 0.0],  // A rows
+    ///     vec![0.0, 0.0,  3.0, 4.0],  // B rows
+    /// );
+    /// assert_eq!(emb.rate(NodeId(0), NodeId(1)), 1.0 * 3.0 + 2.0 * 4.0);
+    /// ```
+    pub fn rate(&self, u: NodeId, v: NodeId) -> f64 {
+        dot(self.influence(u), self.selectivity(v))
+    }
+
+    /// Rows permuted into a layout: new row `p` is old row `layout[p]`.
+    /// `layout` must be a permutation of all nodes.
+    pub fn reorder(&self, layout: &[NodeId]) -> Embeddings {
+        assert_eq!(layout.len(), self.n, "layout must cover every node");
+        let mut out = Embeddings::zeros(self.n, self.k);
+        for (p, &u) in layout.iter().enumerate() {
+            let src = u.index() * self.k;
+            let dst = p * self.k;
+            out.a[dst..dst + self.k].copy_from_slice(&self.a[src..src + self.k]);
+            out.b[dst..dst + self.k].copy_from_slice(&self.b[src..src + self.k]);
+        }
+        out
+    }
+
+    /// Inverse of [`Embeddings::reorder`]: assuming `self` is laid out by
+    /// `layout`, returns embeddings in original node order.
+    pub fn restore(&self, layout: &[NodeId]) -> Embeddings {
+        assert_eq!(layout.len(), self.n, "layout must cover every node");
+        let mut out = Embeddings::zeros(self.n, self.k);
+        for (p, &u) in layout.iter().enumerate() {
+            let src = p * self.k;
+            let dst = u.index() * self.k;
+            out.a[dst..dst + self.k].copy_from_slice(&self.a[src..src + self.k]);
+            out.b[dst..dst + self.k].copy_from_slice(&self.b[src..src + self.k]);
+        }
+        out
+    }
+
+    /// Splits both matrices into disjoint mutable row blocks given
+    /// row-position ranges that tile `0..n` in order. Each entry is
+    /// `(a_block, b_block)` of length `range.len() × k`.
+    pub fn split_blocks(
+        &mut self,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<(&mut [f64], &mut [f64])> {
+        // Validate tiling.
+        let mut expect = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, expect, "ranges must tile contiguously");
+            expect = r.end;
+        }
+        assert_eq!(expect, self.n, "ranges must cover all rows");
+        let k = self.k;
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut rest_a: &mut [f64] = &mut self.a;
+        let mut rest_b: &mut [f64] = &mut self.b;
+        for r in ranges {
+            let (block_a, tail_a) = rest_a.split_at_mut(r.len() * k);
+            let (block_b, tail_b) = rest_b.split_at_mut(r.len() * k);
+            out.push((block_a, block_b));
+            rest_a = tail_a;
+            rest_b = tail_b;
+        }
+        out
+    }
+
+    /// Saves the embeddings as pretty-printed JSON.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads embeddings previously written by [`Embeddings::save_json`].
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Embeddings> {
+        let text = std::fs::read_to_string(path)?;
+        let emb: Embeddings = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if emb.a.len() != emb.n * emb.k || emb.b.len() != emb.n * emb.k {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "embedding matrix shapes do not match the declared dimensions",
+            ));
+        }
+        Ok(emb)
+    }
+
+    /// Maximum absolute entry-wise difference to another embedding of
+    /// identical shape.
+    pub fn max_abs_diff(&self, other: &Embeddings) -> f64 {
+        assert_eq!((self.n, self.k), (other.n, other.k), "shape mismatch");
+        self.a
+            .iter()
+            .zip(&other.a)
+            .chain(self.b.iter().zip(&other.b))
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Dense dot product (the innermost hot loop of everything here).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_shape() {
+        let e = Embeddings::zeros(3, 2);
+        assert_eq!(e.node_count(), 3);
+        assert_eq!(e.topic_count(), 2);
+        assert_eq!(e.influence(NodeId(2)), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embeddings::random(10, 4, 0.2, 0.9, &mut rng);
+        for u in 0..10u32 {
+            for &x in e.influence(NodeId(u)).iter().chain(e.selectivity(NodeId(u))) {
+                assert!((0.2..0.9).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_is_inner_product() {
+        let e = Embeddings::from_matrices(
+            2,
+            2,
+            vec![1.0, 2.0, 0.5, 0.0],
+            vec![0.0, 1.0, 3.0, 4.0],
+        );
+        // ⟨A_0, B_1⟩ = 1*3 + 2*4 = 11
+        assert_eq!(e.rate(NodeId(0), NodeId(1)), 11.0);
+    }
+
+    #[test]
+    fn reorder_then_restore_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = Embeddings::random(5, 3, 0.1, 1.0, &mut rng);
+        let layout: Vec<NodeId> = [3u32, 0, 4, 1, 2].iter().copied().map(NodeId).collect();
+        let round = e.reorder(&layout).restore(&layout);
+        assert_eq!(e, round);
+    }
+
+    #[test]
+    fn reorder_moves_rows() {
+        let e = Embeddings::from_matrices(2, 1, vec![1.0, 2.0], vec![3.0, 4.0]);
+        let layout = vec![NodeId(1), NodeId(0)];
+        let r = e.reorder(&layout);
+        assert_eq!(r.influence(NodeId(0)), &[2.0]);
+        assert_eq!(r.selectivity(NodeId(1)), &[3.0]);
+    }
+
+    #[test]
+    fn split_blocks_are_disjoint_and_sized() {
+        let mut e = Embeddings::zeros(6, 2);
+        let ranges = vec![0..2, 2..3, 3..6];
+        let blocks = e.split_blocks(&ranges);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].0.len(), 4);
+        assert_eq!(blocks[1].0.len(), 2);
+        assert_eq!(blocks[2].1.len(), 6);
+    }
+
+    #[test]
+    fn split_blocks_write_through() {
+        let mut e = Embeddings::zeros(4, 1);
+        {
+            let mut blocks = e.split_blocks(&[0..2, 2..4]);
+            blocks[1].0[0] = 7.0; // row 2 influence
+            blocks[0].1[1] = 5.0; // row 1 selectivity
+        }
+        assert_eq!(e.influence(NodeId(2)), &[7.0]);
+        assert_eq!(e.selectivity(NodeId(1)), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile contiguously")]
+    fn split_blocks_rejects_gaps() {
+        let mut e = Embeddings::zeros(4, 1);
+        let _ = e.split_blocks(&[0..1, 2..4]);
+    }
+
+    #[test]
+    fn max_abs_diff_measures() {
+        let e1 = Embeddings::from_matrices(1, 2, vec![1.0, 2.0], vec![0.0, 0.0]);
+        let e2 = Embeddings::from_matrices(1, 2, vec![1.5, 2.0], vec![0.0, 0.25]);
+        assert_eq!(e1.max_abs_diff(&e2), 0.5);
+    }
+
+    #[test]
+    fn dot_products() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn json_file_round_trip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let e = Embeddings::random(4, 3, 0.1, 1.0, &mut rng);
+        let dir = std::env::temp_dir().join("viralcast-embed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("emb.json");
+        e.save_json(&path).unwrap();
+        let back = Embeddings::load_json(&path).unwrap();
+        assert!(e.max_abs_diff(&back) < 1e-12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_json_rejects_shape_lies() {
+        let dir = std::env::temp_dir().join("viralcast-embed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, r#"{"n":3,"k":2,"a":[1.0],"b":[1.0]}"#).unwrap();
+        assert!(Embeddings::load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = Embeddings::random(3, 2, 0.1, 1.0, &mut rng);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Embeddings = serde_json::from_str(&json).unwrap();
+        // JSON float printing may drop the last ulp; structural equality
+        // up to 1e-12 is what persistence needs.
+        assert_eq!((back.node_count(), back.topic_count()), (3, 2));
+        assert!(e.max_abs_diff(&back) < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// reorder/restore are mutually inverse for any permutation.
+        #[test]
+        fn permutation_round_trip(seed in 0u64..1000, n in 1usize..20, k in 1usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = Embeddings::random(n, k, 0.1, 1.0, &mut rng);
+            let mut layout: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+            // Deterministic shuffle from the same rng.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                layout.swap(i, j);
+            }
+            prop_assert_eq!(e.reorder(&layout).restore(&layout), e.clone());
+            prop_assert_eq!(e.restore(&layout).reorder(&layout), e);
+        }
+    }
+}

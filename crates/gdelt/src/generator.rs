@@ -1,0 +1,494 @@
+//! The synthetic GDELT world builder and event simulator.
+//!
+//! The world is assembled in four steps:
+//!
+//! 1. **Sites** — `sites` outlets split across the four regional blocks
+//!    by `region_weights`; each region is subdivided into communities of
+//!    `community_size` sites (the topical sub-structure SLPA later
+//!    recovers); popularity is drawn from a power law with the paper's
+//!    5 000-report cut-off.
+//! 2. **Ground-truth embeddings** — one topic per community via
+//!    [`planted_embeddings`], then each site's influence row is scaled
+//!    by `1 + ln(popularity / x_min)` so popular outlets genuinely move
+//!    more stories (the Matthew effect feeding Figure 3).
+//! 3. **Co-follow graph** — every site links to `mean_degree` peers
+//!    sampled popularity-proportionally, mostly within its own region
+//!    (`1 − cross_region_fraction` of draws), symmetrised.
+//! 4. **Events** — each news event is one simulated cascade: a seed
+//!    outlet drawn popularity-proportionally breaks the story, and it
+//!    spreads along the graph with exponential delays of rate
+//!    `⟨A_u, B_v⟩` for `observation_hours` (3 days, matching the
+//!    "total number of reports in 3 days" target).
+
+use crate::records::{Mention, MentionTable};
+use crate::site::{NewsSite, Region};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use viralcast_graph::powerlaw::PowerLaw;
+use viralcast_graph::{DiGraph, GraphBuilder, NodeId};
+use viralcast_propagation::{
+    planted_embeddings, EmbeddingRates, PlantedConfig, SimulationConfig, Simulator,
+};
+
+/// World-generation parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GdeltConfig {
+    /// Number of news sites (paper: 6 000 most popular).
+    pub sites: usize,
+    /// Probability weights of the four regions (US, EU, AU, Mixed).
+    pub region_weights: [f64; 4],
+    /// Sites per topical community inside a region.
+    pub community_size: usize,
+    /// Power-law exponent of site popularity.
+    pub popularity_exponent: f64,
+    /// Popularity cut-off (the paper ignores sites below 5 000 yearly
+    /// reports).
+    pub popularity_cutoff: f64,
+    /// Exponent of the per-community popularity multiplier. Major
+    /// outlets cluster: a community's sites share a power-law factor on
+    /// top of their individual draws, so some topical communities are
+    /// "hot" (national press) and most are cold (local outlets). Events
+    /// breaking in hot communities spread faster and further — which is
+    /// precisely the signal the early-adopter features read off.
+    pub community_popularity_exponent: f64,
+    /// Mean out-degree of the co-follow graph.
+    pub mean_degree: usize,
+    /// Fraction of co-follow links drawn inside the site's own topical
+    /// community (the rest stay inside the region, minus the
+    /// cross-region share).
+    pub intra_community_fraction: f64,
+    /// Fraction of co-follow links that cross regions.
+    pub cross_region_fraction: f64,
+    /// Observation window per event, in hours (3 days).
+    pub observation_hours: f64,
+    /// Planted embedding shape (on/off-topic rates are per hour).
+    pub planted: PlantedConfig,
+}
+
+impl Default for GdeltConfig {
+    fn default() -> Self {
+        GdeltConfig {
+            sites: 6_000,
+            region_weights: [0.4, 0.3, 0.2, 0.1],
+            community_size: 40,
+            popularity_exponent: 2.2,
+            popularity_cutoff: 5_000.0,
+            community_popularity_exponent: 2.5,
+            mean_degree: 10,
+            intra_community_fraction: 0.6,
+            cross_region_fraction: 0.02,
+            observation_hours: 72.0,
+            // Tuned to the partially-flooding, subcritical-jump regime:
+            // an unpopular site catches a community event with
+            // probability well below one (its catch hazard scales with
+            // its popularity boost — the Matthew effect shows up in the
+            // simulated report counts, not just the latent popularity),
+            // the expected number of community jumps per event stays
+            // near one (sizes spread over roughly 20–200 sites), and
+            // cross-region jumps are rare (~80 % of cascades stay in
+            // one region, as in the paper's Figures 1–2).
+            planted: PlantedConfig {
+                on_topic: 0.5,
+                off_topic: 0.000003,
+                jitter: 0.3,
+            },
+        }
+    }
+}
+
+/// A smaller default for tests and quick runs.
+impl GdeltConfig {
+    /// A scaled-down world (600 sites) that keeps every structural
+    /// property but generates in milliseconds.
+    pub fn small() -> Self {
+        GdeltConfig {
+            sites: 600,
+            ..GdeltConfig::default()
+        }
+    }
+}
+
+/// A fully generated world.
+#[derive(Clone, Debug)]
+pub struct GdeltWorld {
+    config: GdeltConfig,
+    sites: Vec<NewsSite>,
+    graph: DiGraph,
+    rates: EmbeddingRates,
+    /// Topical community of each site (region-nested).
+    membership: Vec<usize>,
+    /// Cumulative popularity for seed sampling.
+    popularity_cdf: Vec<f64>,
+}
+
+impl GdeltWorld {
+    /// Generates a world.
+    pub fn generate<R: Rng>(config: GdeltConfig, rng: &mut R) -> Self {
+        assert!(config.sites > 0 && config.community_size > 0);
+        let total_weight: f64 = config.region_weights.iter().sum();
+        assert!(total_weight > 0.0, "region weights must not all be zero");
+
+        // --- Sites: contiguous regional blocks, then communities.
+        let mut region_sizes = [0usize; 4];
+        let mut assigned = 0;
+        for (i, w) in config.region_weights.iter().enumerate() {
+            region_sizes[i] = if i == 3 {
+                config.sites - assigned
+            } else {
+                ((w / total_weight) * config.sites as f64).round() as usize
+            };
+            assigned += region_sizes[i];
+        }
+        let popularity = PowerLaw::new(config.popularity_exponent, config.popularity_cutoff);
+        let community_factor =
+            PowerLaw::new(config.community_popularity_exponent, 1.0);
+        let mut sites = Vec::with_capacity(config.sites);
+        let mut membership = Vec::with_capacity(config.sites);
+        let mut community = 0usize;
+        // Capped so a single hot community cannot dwarf the world.
+        let mut factor = community_factor.sample(rng).min(30.0);
+        let mut id = 0usize;
+        for (ri, &size) in region_sizes.iter().enumerate() {
+            let region = Region::ALL[ri];
+            for j in 0..size {
+                if j > 0 && j % config.community_size == 0 {
+                    community += 1;
+                    factor = community_factor.sample(rng).min(30.0);
+                }
+                let langs = region.languages();
+                let lang = langs[rng.gen_range(0..langs.len())];
+                sites.push(NewsSite::new(
+                    NodeId::new(id),
+                    region,
+                    lang,
+                    popularity.sample(rng) * factor,
+                ));
+                membership.push(community);
+                id += 1;
+            }
+            if size > 0 {
+                community += 1;
+                factor = community_factor.sample(rng).min(30.0);
+            }
+        }
+
+        // --- Ground-truth embeddings, scaled by popularity: popular
+        // outlets both push stories harder (influence) and cover more
+        // of what passes by (selectivity) — the generative form of the
+        // Matthew effect.
+        let mut rates = planted_embeddings(&membership, &config.planted, rng);
+        let k = rates.topic_count();
+        let n = config.sites;
+        let mut a = Vec::with_capacity(n * k);
+        let mut b = Vec::with_capacity(n * k);
+        #[allow(clippy::needless_range_loop)] // u indexes sites and both matrices
+        for u in 0..n {
+            let boost = 1.0 + (sites[u].popularity / config.popularity_cutoff).ln();
+            for t in 0..k {
+                a.push(rates.influence(NodeId::new(u))[t] * boost);
+                b.push(rates.selectivity(NodeId::new(u))[t] * boost);
+            }
+        }
+        rates = EmbeddingRates::from_matrices(n, k, a, b);
+
+        // --- Co-follow graph: popularity-proportional sampling, mostly
+        // intra-region.
+        let region_of: Vec<usize> = sites.iter().map(|s| s.region.index()).collect();
+        let mut region_members: Vec<Vec<usize>> = vec![Vec::new(); 4];
+        for (u, &r) in region_of.iter().enumerate() {
+            region_members[r].push(u);
+        }
+        let community_count = membership.iter().copied().max().map_or(0, |m| m + 1);
+        let mut community_members: Vec<Vec<usize>> = vec![Vec::new(); community_count];
+        for (u, &c) in membership.iter().enumerate() {
+            community_members[c].push(u);
+        }
+        let mut builder = GraphBuilder::with_capacity(n, n * config.mean_degree);
+        // Popularity CDFs for proportional draws at each scope.
+        let cdf_of = |members: &[usize]| -> Vec<f64> {
+            let mut acc = 0.0;
+            members
+                .iter()
+                .map(|&u| {
+                    acc += sites[u].popularity;
+                    acc
+                })
+                .collect()
+        };
+        let region_cdfs: Vec<Vec<f64>> = region_members.iter().map(|m| cdf_of(m)).collect();
+        let community_cdfs: Vec<Vec<f64>> =
+            community_members.iter().map(|m| cdf_of(m)).collect();
+        let global_cdf: Vec<f64> = {
+            let mut acc = 0.0;
+            sites
+                .iter()
+                .map(|s| {
+                    acc += s.popularity;
+                    acc
+                })
+                .collect()
+        };
+        for u in 0..n {
+            let mut added = 0usize;
+            let mut guard = 0usize;
+            while added < config.mean_degree && guard < config.mean_degree * 20 {
+                guard += 1;
+                let roll: f64 = rng.gen_range(0.0..1.0);
+                let v = if roll < config.cross_region_fraction {
+                    sample_cdf(&global_cdf, rng)
+                } else if roll < config.cross_region_fraction + config.intra_community_fraction
+                    && community_members[membership[u]].len() >= 2
+                {
+                    let c = membership[u];
+                    community_members[c][sample_cdf(&community_cdfs[c], rng)]
+                } else if region_members[region_of[u]].len() >= 2 {
+                    let r = region_of[u];
+                    region_members[r][sample_cdf(&region_cdfs[r], rng)]
+                } else {
+                    sample_cdf(&global_cdf, rng)
+                };
+                if v != u {
+                    builder.add_undirected_edge(NodeId::new(u), NodeId::new(v), 1.0);
+                    added += 1;
+                }
+            }
+        }
+        let graph = builder.build();
+
+        let popularity_cdf = global_cdf;
+        GdeltWorld {
+            config,
+            sites,
+            graph,
+            rates,
+            membership,
+            popularity_cdf,
+        }
+    }
+
+    /// The configuration this world was generated from.
+    pub fn config(&self) -> &GdeltConfig {
+        &self.config
+    }
+
+    /// The news sites, indexed by node id.
+    pub fn sites(&self) -> &[NewsSite] {
+        &self.sites
+    }
+
+    /// The co-follow graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Ground-truth rates (for recovery checks).
+    pub fn ground_truth(&self) -> &EmbeddingRates {
+        &self.rates
+    }
+
+    /// Topical community labels (region-nested).
+    pub fn membership(&self) -> &[usize] {
+        &self.membership
+    }
+
+    /// Region label (0–3) per site.
+    pub fn region_labels(&self) -> Vec<usize> {
+        self.sites.iter().map(|s| s.region.index()).collect()
+    }
+
+    /// Simulates `count` news events and returns their mention table.
+    /// Seeds are drawn popularity-proportionally; every event has at
+    /// least its seed mention.
+    pub fn simulate_events<R: Rng>(&self, count: usize, rng: &mut R) -> MentionTable {
+        let sim_config = SimulationConfig {
+            observation_window: self.config.observation_hours,
+            max_cascade_size: None,
+            min_cascade_size: 2,
+            max_retries: 10,
+        };
+        let simulator = Simulator::new(&self.graph, self.rates.clone(), sim_config);
+        let mut mentions = Vec::new();
+        for event in 0..count {
+            let seed = NodeId::new(sample_cdf(&self.popularity_cdf, rng));
+            let mut cascade = simulator.simulate_from(seed, rng);
+            let mut retries = 0;
+            while cascade.len() < 2 && retries < 10 {
+                let seed = NodeId::new(sample_cdf(&self.popularity_cdf, rng));
+                cascade = simulator.simulate_from(seed, rng);
+                retries += 1;
+            }
+            for inf in cascade.infections() {
+                mentions.push(Mention {
+                    site: inf.node,
+                    event: event as u32,
+                    hour: inf.time,
+                });
+            }
+        }
+        MentionTable::new(self.sites.len(), count, mentions)
+    }
+}
+
+/// Samples an index proportionally to the increments of a cumulative
+/// sum.
+fn sample_cdf<R: Rng>(cdf: &[f64], rng: &mut R) -> usize {
+    let total = *cdf.last().expect("empty CDF");
+    let x = rng.gen_range(0.0..total);
+    cdf.partition_point(|&c| c <= x).min(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use viralcast_propagation::stats::locality_fraction;
+
+    fn small_world(seed: u64) -> GdeltWorld {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GdeltWorld::generate(GdeltConfig::small(), &mut rng)
+    }
+
+    #[test]
+    fn world_has_requested_sites() {
+        let w = small_world(1);
+        assert_eq!(w.sites().len(), 600);
+        assert_eq!(w.graph().node_count(), 600);
+    }
+
+    #[test]
+    fn regions_cover_all_sites_in_blocks() {
+        let w = small_world(2);
+        // Regions appear as contiguous blocks in id order.
+        let labels = w.region_labels();
+        let mut seen_last = 0;
+        for &l in &labels {
+            assert!(l >= seen_last || l == seen_last, "regions not contiguous");
+            seen_last = seen_last.max(l);
+        }
+        // All four regions present with the default weights.
+        for r in 0..4 {
+            assert!(labels.contains(&r), "region {r} missing");
+        }
+    }
+
+    #[test]
+    fn popularity_respects_cutoff() {
+        let w = small_world(3);
+        assert!(w.sites().iter().all(|s| s.popularity >= 5_000.0));
+    }
+
+    #[test]
+    fn communities_nest_inside_regions() {
+        let w = small_world(4);
+        let regions = w.region_labels();
+        let membership = w.membership();
+        // Two sites in the same community must share a region.
+        for i in 0..membership.len() {
+            for j in (i + 1)..membership.len().min(i + 50) {
+                if membership[i] == membership[j] {
+                    assert_eq!(regions[i], regions[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_mostly_intra_region() {
+        let w = small_world(5);
+        let regions = w.region_labels();
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (u, v, _) in w.graph().edges() {
+            total += 1;
+            if regions[u.index()] == regions[v.index()] {
+                intra += 1;
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac > 0.8, "intra-region edge fraction {frac} too low");
+    }
+
+    #[test]
+    fn events_have_mentions_and_stay_in_window() {
+        let w = small_world(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = w.simulate_events(50, &mut rng);
+        assert_eq!(table.event_count(), 50);
+        assert!(table.mentions().iter().all(|m| m.hour <= 72.0));
+        let per_event = table.reports_per_event();
+        assert!(per_event.iter().all(|&c| c >= 1));
+        // Most events got past the seed (min size 2 with retries).
+        let multi = per_event.iter().filter(|&&c| c >= 2).count();
+        assert!(multi * 10 >= per_event.len() * 8, "{multi}/50 multi-site");
+    }
+
+    #[test]
+    fn cascades_are_mostly_regional() {
+        let w = small_world(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let table = w.simulate_events(100, &mut rng);
+        let cascades = table.to_cascade_set();
+        let frac = locality_fraction(&cascades, &w.region_labels());
+        assert!(
+            frac > 0.6,
+            "only {frac} of cascades stayed within one region"
+        );
+    }
+
+    #[test]
+    fn popular_sites_report_more() {
+        let w = small_world(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let table = w.simulate_events(400, &mut rng);
+        let reports = table.reports_per_site();
+        // Compare mean reports of the top popularity decile vs the rest.
+        let mut order: Vec<usize> = (0..w.sites().len()).collect();
+        order.sort_by(|&a, &b| {
+            w.sites()[b]
+                .popularity
+                .partial_cmp(&w.sites()[a].popularity)
+                .unwrap()
+        });
+        let top: f64 = order[..60].iter().map(|&u| reports[u] as f64).sum::<f64>() / 60.0;
+        let rest: f64 =
+            order[60..].iter().map(|&u| reports[u] as f64).sum::<f64>() / 540.0;
+        // Simulated corpora are thousands of events, not GDELT's
+        // millions, so the count gap is compressed relative to the
+        // latent popularity power law; a clear positive margin is the
+        // meaningful check here.
+        assert!(
+            top > 1.2 * rest,
+            "Matthew effect missing: top {top} vs rest {rest}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w1 = small_world(12);
+        let w2 = small_world(12);
+        assert_eq!(w1.sites().len(), w2.sites().len());
+        let e1: Vec<_> = w1.graph().edges().collect();
+        let e2: Vec<_> = w2.graph().edges().collect();
+        assert_eq!(e1, e2);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        assert_eq!(
+            w1.simulate_events(10, &mut r1).mentions(),
+            w2.simulate_events(10, &mut r2).mentions()
+        );
+    }
+
+    #[test]
+    fn sample_cdf_respects_weights() {
+        // CDF over 3 items with weights 1, 0, 9.
+        let cdf = vec![1.0, 1.0, 10.0];
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_cdf(&cdf, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 8_500 && counts[0] < 1_500, "{counts:?}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Compact node identifiers.
+//!
+//! Node handles are `u32` newtypes: the paper's largest instance (the GDELT
+//! world) has six thousand sites and the SBM experiments a few thousand
+//! nodes, so 32 bits leave four orders of magnitude of headroom while
+//! keeping cascade records and adjacency arrays half the size of a
+//! `usize`-based representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node handle: a dense index into the graph's node range `0..n`.
+///
+/// `NodeId` is deliberately transparent (`pub u32`) so that hot loops can
+/// index embedding matrices without a conversion ceremony, but prefer
+/// [`NodeId::index`] in ordinary code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Builds a `NodeId` from a dense `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index {index} overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        NodeId::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65_535, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_underlying_integer() {
+        let mut v = vec![NodeId(5), NodeId(1), NodeId(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(7)), "7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn conversions() {
+        let id: NodeId = 9u32.into();
+        assert_eq!(u32::from(id), 9);
+        let id: NodeId = 11usize.into();
+        assert_eq!(id.index(), 11);
+    }
+}

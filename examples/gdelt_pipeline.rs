@@ -1,0 +1,79 @@
+//! The Section VI-B pipeline on the synthetic GDELT world: simulate
+//! news events across regional site communities, infer site embeddings
+//! from historical events, and predict each new event's 3-day report
+//! count from the sites that covered it in its first 5 hours
+//! (Figure 12's protocol).
+//!
+//! ```text
+//! cargo run --release --example gdelt_pipeline -- \
+//!     --sites 1200 --events 1500 --seed 7
+//! ```
+
+use viralnews::cli::Flags;
+use viralnews::viralcast::gdelt::{GdeltConfig, GdeltWorld};
+use viralnews::viralcast::predict::pipeline::Dataset;
+use viralnews::viralcast::prelude::*;
+use viralnews::viralcast::propagation::stats::locality_fraction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let flags = Flags::from_env();
+    let sites = flags.usize("sites", 1_200);
+    let events = flags.usize("events", 1_500);
+    let seed = flags.u64("seed", 7);
+    let early_hours = flags.f64("early-hours", 5.0);
+
+    let config = GdeltConfig {
+        sites,
+        ..GdeltConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    println!("generating GDELT world: {sites} sites across 4 regions…");
+    let world = GdeltWorld::generate(config, &mut rng);
+
+    println!("simulating {events} news events over 72-hour windows…");
+    let table = world.simulate_events(events, &mut rng);
+    let corpus = table.to_cascade_set();
+    println!(
+        "  {} mentions; {:.0}% of events stayed within one region",
+        table.mentions().len(),
+        100.0 * locality_fraction(&corpus, &world.region_labels())
+    );
+
+    // Train on the first 2/3 of events, test on the rest.
+    let split = events * 2 / 3;
+    let (train, test) = corpus.split_at(split);
+
+    println!("inferring site embeddings from {} historical events…", train.len());
+    let inference = infer_embeddings(&train, &InferOptions::default());
+    println!(
+        "  {} co-reporting communities detected",
+        inference.partition.community_count()
+    );
+
+    // Early adopters = sites reporting within the first `early_hours`.
+    let task = PredictionTask {
+        window: world.config().observation_hours,
+        early_fraction: early_hours / world.config().observation_hours,
+        ..PredictionTask::default()
+    };
+    let dataset: Dataset = extract_dataset(&inference.embeddings, &test, &task);
+
+    let top20 = dataset.top_fraction_threshold(0.2);
+    let thresholds: Vec<usize> = {
+        let max = dataset.sizes.iter().copied().max().unwrap_or(0);
+        (0..=max).step_by((max / 10).max(1)).collect()
+    };
+    println!("\npredicting 3-day report counts from the first {early_hours} hours:");
+    println!("{:>10} {:>10} {:>8}", "size >", "#viral", "F1");
+    for p in threshold_sweep(&dataset, &thresholds, &task) {
+        println!("{:>10} {:>10} {:>8.3}", p.threshold, p.positives, p.f1);
+    }
+    if let Some(p) = threshold_sweep(&dataset, &[top20], &task).first() {
+        println!(
+            "\ntop-20% events: F1 = {:.3} (paper reports ≈ 0.80 on GDELT)",
+            p.f1
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! A compact live demo of the paper's headline parallelism claim:
+//! the same hierarchical inference run under rayon pools of increasing
+//! size, reporting wall-clock, speedup and efficiency (Figures 10/13 in
+//! miniature — the full harnesses live in `crates/bench`).
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling -- \
+//!     --nodes 1000 --cascades 1000 --max-cores 8
+//! ```
+
+use viralnews::cli::Flags;
+use viralnews::viralcast::prelude::*;
+
+fn main() {
+    let flags = Flags::from_env();
+    let nodes = flags.usize("nodes", 1_000);
+    let cascades = flags.usize("cascades", 1_000);
+    let max_cores = flags.usize("max-cores", num_threads_available());
+    let seed = flags.u64("seed", 5);
+
+    let config = SbmExperimentConfig {
+        sbm: SbmConfig {
+            nodes,
+            community_size: 40,
+            intra_prob: 0.2,
+            inter_prob: 0.001,
+        },
+        cascades,
+        ..SbmExperimentConfig::default()
+    };
+    println!("building world ({nodes} nodes, {cascades} cascades)…");
+    let experiment = SbmExperiment::build(&config, seed);
+    let options = InferOptions::default();
+
+    // Community detection once — the sweep measures the inference.
+    let outcome = infer_embeddings(experiment.train(), &options);
+    let partition = outcome.partition.clone();
+    println!(
+        "{} communities; physical cores available: {}\n",
+        partition.community_count(),
+        num_threads_available()
+    );
+
+    println!("{:>6} {:>10} {:>9} {:>11}", "cores", "time (s)", "speedup", "efficiency");
+    let mut t1 = None;
+    let mut cores = 1;
+    while cores <= max_cores {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cores)
+            .build()
+            .expect("pool");
+        let hier = HierarchicalConfig {
+            topics: options.topics,
+            ..options.hierarchical
+        };
+        let start = std::time::Instant::now();
+        let (_emb, _report) = pool.install(|| infer(experiment.train(), &partition, &hier));
+        let secs = start.elapsed().as_secs_f64();
+        let base = *t1.get_or_insert(secs);
+        println!(
+            "{:>6} {:>10.2} {:>9.2} {:>11.2}",
+            cores,
+            secs,
+            base / secs,
+            base / secs / cores as f64
+        );
+        cores *= 2;
+    }
+    println!("\n(speedup saturates near the physical core count; the paper's 50× needs 64 cores)");
+}
+
+fn num_threads_available() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

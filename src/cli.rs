@@ -1,0 +1,135 @@
+//! A dependency-free `--flag value` parser for the example and harness
+//! binaries.
+//!
+//! Every experiment binary takes a handful of numeric knobs
+//! (`--seed 42 --cascades 3000 …`); this keeps them uniform without
+//! pulling an argument-parsing crate into the offline dependency set.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    /// Bare (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs (and bare `--key` as `"true"`) from an
+    /// iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut positional = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                values.insert(key.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Flags { values, positional }
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a flag was given (with any value).
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Panics
+    /// Panics with a readable message if the value does not parse.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.parsed(key).unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.parsed(key).unwrap_or(default)
+    }
+
+    /// An `f64` flag with a default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.parsed(key).unwrap_or(default)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.values.get(key).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                panic!("flag --{key} expects a {}, got {v:?}", std::any::type_name::<T>())
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = flags(&["--seed", "42", "--cascades", "100"]);
+        assert_eq!(f.u64("seed", 0), 42);
+        assert_eq!(f.usize("cascades", 0), 100);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let f = flags(&[]);
+        assert_eq!(f.usize("cores", 8), 8);
+        assert_eq!(f.f64("window", 1.5), 1.5);
+    }
+
+    #[test]
+    fn bare_flags_are_true() {
+        let f = flags(&["--verbose", "--seed", "7"]);
+        assert!(f.has("verbose"));
+        assert_eq!(f.get("verbose"), Some("true"));
+        assert_eq!(f.u64("seed", 0), 7);
+    }
+
+    #[test]
+    fn positional_arguments_kept() {
+        let f = flags(&["run", "--seed", "1", "fast"]);
+        assert_eq!(f.positional, vec!["run", "fast"]);
+    }
+
+    #[test]
+    fn floats_parse() {
+        let f = flags(&["--alpha", "0.25"]);
+        assert!((f.f64("alpha", 0.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a")]
+    fn bad_value_panics_with_message() {
+        flags(&["--seed", "notanumber"]).u64("seed", 0);
+    }
+
+    #[test]
+    fn adjacent_flags_do_not_consume_each_other() {
+        let f = flags(&["--fast", "--seed", "3"]);
+        assert_eq!(f.get("fast"), Some("true"));
+        assert_eq!(f.u64("seed", 0), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration test of the Section VI-A pipeline through
+//! the public API only: synthetic world → inference → prediction.
+
+use viralnews::viralcast::prelude::*;
+
+fn small_config() -> SbmExperimentConfig {
+    // The quickstart's world: ~20% of cascades escape their community
+    // and spread widely, so the top-20% label is a genuine minority
+    // class rather than a saturated "everything floods" label.
+    SbmExperimentConfig {
+        sbm: SbmConfig {
+            nodes: 400,
+            community_size: 20,
+            intra_prob: 0.3,
+            inter_prob: 0.002,
+        },
+        cascades: 450,
+        planted: PlantedConfig {
+            on_topic: 4.0,
+            off_topic: 0.05,
+            jitter: 0.5,
+        },
+        ..SbmExperimentConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_beats_naive_baselines() {
+    let experiment = SbmExperiment::build(&small_config(), 42);
+    let inference = infer_embeddings(experiment.train(), &InferOptions::default());
+
+    let task = PredictionTask {
+        window: experiment.config().observation_window,
+        folds: 5,
+        ..PredictionTask::default()
+    };
+    let dataset = extract_dataset(&inference.embeddings, experiment.test(), &task);
+    let threshold = dataset.top_fraction_threshold(0.2);
+    let point = threshold_sweep(&dataset, &[threshold], &task)
+        .into_iter()
+        .next()
+        .expect("top-20% threshold must be non-degenerate");
+
+    // The always-positive classifier has F1 = 2p/(1+p) with p the
+    // positive rate (~0.2 ⇒ ~0.33). The pipeline must clearly beat it.
+    let p = point.positives as f64 / dataset.sizes.len() as f64;
+    let naive = 2.0 * p / (1.0 + p);
+    assert!(
+        point.f1 > naive + 0.1,
+        "pipeline F1 {} vs always-positive {naive}",
+        point.f1
+    );
+}
+
+#[test]
+fn embeddings_norms_track_observed_influence() {
+    // Nodes that appear early in many cascades should carry larger
+    // inferred influence mass than nodes that only ever arrive late.
+    let experiment = SbmExperiment::build(&small_config(), 7);
+    let inference = infer_embeddings(experiment.train(), &InferOptions::default());
+
+    // Observed out-influence proxy: how often a node is in the first
+    // quarter of a cascade.
+    let n = experiment.graph().node_count();
+    let mut early_counts = vec![0usize; n];
+    for c in experiment.train().cascades() {
+        let quarter = (c.len() / 4).max(1);
+        for inf in &c.infections()[..quarter] {
+            early_counts[inf.node.index()] += 1;
+        }
+    }
+    let ranked = top_influencers(&inference.embeddings, n);
+    let top_mean: f64 = ranked[..n / 10]
+        .iter()
+        .map(|r| early_counts[r.node.index()] as f64)
+        .sum::<f64>()
+        / (n / 10) as f64;
+    let rest_mean: f64 = ranked[n / 10..]
+        .iter()
+        .map(|r| early_counts[r.node.index()] as f64)
+        .sum::<f64>()
+        / (n - n / 10) as f64;
+    assert!(
+        top_mean > rest_mean,
+        "top influencers seed less than the rest ({top_mean} vs {rest_mean})"
+    );
+}
+
+#[test]
+fn train_test_split_is_disjoint_and_ordered() {
+    let experiment = SbmExperiment::build(&small_config(), 9);
+    assert_eq!(experiment.train().len(), 300);
+    assert_eq!(experiment.test().len(), 150);
+    assert_eq!(
+        experiment.train().node_count(),
+        experiment.test().node_count()
+    );
+}
+
+#[test]
+fn inference_report_is_coherent() {
+    let experiment = SbmExperiment::build(&small_config(), 11);
+    let inference = infer_embeddings(experiment.train(), &InferOptions::default());
+    let report = &inference.report;
+    assert!(!report.levels.is_empty());
+    // Group counts halve level over level (Algorithm 2).
+    for w in report.levels.windows(2) {
+        assert_eq!(w[1].groups, w[0].groups.div_ceil(2));
+    }
+    // The last level is the root (stop_groups defaults to 1).
+    assert_eq!(report.levels.last().unwrap().groups, 1);
+    assert!(report.total_seconds() > 0.0);
+}

@@ -1,0 +1,144 @@
+//! Integration tests of the synthetic GDELT substrate against the
+//! Section II data properties the paper reports, exercised through the
+//! public API.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viralnews::viralcast::gdelt::query;
+use viralnews::viralcast::prelude::*;
+use viralnews::viralcast::propagation::stats::{duration_summary, locality_fraction};
+
+fn world_and_events(seed: u64, events: usize) -> (GdeltWorld, MentionTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let world = GdeltWorld::generate(
+        GdeltConfig {
+            sites: 600,
+            ..GdeltConfig::default()
+        },
+        &mut rng,
+    );
+    let table = world.simulate_events(events, &mut rng);
+    (world, table)
+}
+
+#[test]
+fn most_cascades_are_regional() {
+    // Section II: "most cascades are local".
+    let (world, table) = world_and_events(1, 300);
+    let cascades = table.to_cascade_set();
+    let frac = locality_fraction(&cascades, &world.region_labels());
+    assert!(frac > 0.6, "regional locality only {frac}");
+}
+
+#[test]
+fn events_have_short_life_cycles() {
+    // Section II: "most news events are reported … within the first 50
+    // hours" of a 72-hour window.
+    let (_, table) = world_and_events(2, 300);
+    let cascades = table.to_cascade_set();
+    let d = duration_summary(&cascades);
+    assert!(
+        d.median < 50.0,
+        "median event duration {} exceeds the 50-hour life cycle",
+        d.median
+    );
+}
+
+#[test]
+fn backbone_clusters_are_regional() {
+    // Figure 2's qualitative claim, quantified via assortativity.
+    // A high threshold keeps only strongly co-reporting pairs, which
+    // is exactly the paper's point (50 of 5 000 events).
+    let (world, table) = world_and_events(3, 400);
+    let events: Vec<u32> = (0..400).collect();
+    let backbone = query::coreport_backbone(&table, &events, 12);
+    assert!(backbone.graph().edge_count() > 0, "backbone is empty");
+    let assort = backbone.label_assortativity(&world.region_labels());
+    assert!(assort > 0.7, "intra-region edge fraction only {assort}");
+}
+
+#[test]
+fn dendrogram_of_cascades_separates_regions() {
+    // Figure 1: Ward clustering of cascades aligns with regions.
+    use viralnews::viralcast::community::jaccard::pairwise_jaccard_distances;
+    use viralnews::viralcast::community::ward::ward_linkage;
+    let (world, table) = world_and_events(4, 300);
+    let mut rng = StdRng::seed_from_u64(5);
+    let sample = query::sample_events(&table, 150, &mut rng);
+    let sets = query::site_sets_of(&table, &sample);
+    let distances = pairwise_jaccard_distances(&sets);
+    let dendrogram = Dendrogram::new(sets.len(), ward_linkage(&distances));
+    let labels = dendrogram.cut_k(4);
+
+    // Purity: each cluster should be dominated by one region.
+    let regions = world.region_labels();
+    let mut pure = 0usize;
+    let mut total = 0usize;
+    for c in 0..4 {
+        let members: Vec<usize> = (0..sets.len()).filter(|&i| labels[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut counts = [0usize; 4];
+        for &i in &members {
+            let mut rc = [0usize; 4];
+            for site in &sets[i] {
+                rc[regions[site.index()]] += 1;
+            }
+            counts[(0..4).max_by_key(|&r| rc[r]).unwrap()] += 1;
+        }
+        pure += counts.iter().max().unwrap();
+        total += members.len();
+    }
+    let purity = pure as f64 / total as f64;
+    assert!(purity > 0.7, "cluster/region purity only {purity}");
+}
+
+#[test]
+fn full_gdelt_prediction_pipeline_runs() {
+    // A larger corpus than the other tests: prediction quality needs
+    // enough training events for the embeddings to stabilise.
+    let mut rng = StdRng::seed_from_u64(6);
+    let world = GdeltWorld::generate(
+        GdeltConfig {
+            sites: 800,
+            ..GdeltConfig::default()
+        },
+        &mut rng,
+    );
+    let table = world.simulate_events(900, &mut rng);
+    let corpus = table.to_cascade_set();
+    let (train, test) = corpus.split_at(600);
+    let inference = infer_embeddings(&train, &InferOptions::default());
+    let window = world.config().observation_hours;
+    let task = PredictionTask {
+        window,
+        early_fraction: 5.0 / window,
+        folds: 5,
+        ..PredictionTask::default()
+    };
+    let dataset = extract_dataset(&inference.embeddings, &test, &task);
+    let threshold = dataset.top_fraction_threshold(0.2);
+    let points = threshold_sweep(&dataset, &[threshold], &task);
+    assert!(!points.is_empty(), "degenerate threshold");
+    // Beat the always-positive baseline.
+    let p = points[0].positives as f64 / dataset.sizes.len() as f64;
+    let naive = 2.0 * p / (1.0 + p);
+    assert!(
+        points[0].f1 > naive + 0.05,
+        "GDELT pipeline F1 {} does not beat naive {naive}",
+        points[0].f1
+    );
+}
+
+#[test]
+fn query_layer_is_consistent_with_table() {
+    let (_, table) = world_and_events(7, 200);
+    let top = query::top_sites(&table, 10);
+    assert_eq!(top.len(), 10);
+    let counts = table.reports_per_site();
+    for w in top.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+    assert_eq!(top[0].1, *counts.iter().max().unwrap());
+}

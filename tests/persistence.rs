@@ -1,0 +1,91 @@
+//! Round-trip persistence across the public API: cascade corpora
+//! (JSON-lines) and GDELT mention tables (CSV) survive disk.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viralnews::viralcast::prelude::*;
+use viralnews::viralcast::propagation::store;
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("viralcast-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cascade_corpus_round_trips_through_disk() {
+    let experiment = SbmExperiment::build(
+        &SbmExperimentConfig {
+            sbm: SbmConfig {
+                nodes: 100,
+                community_size: 20,
+                intra_prob: 0.3,
+                inter_prob: 0.002,
+            },
+            cascades: 40,
+            ..SbmExperimentConfig::default()
+        },
+        1,
+    );
+    let path = temp_dir().join("corpus.jsonl");
+    store::save(experiment.train(), &path).unwrap();
+    let loaded = store::load(&path).unwrap();
+    assert_eq!(loaded.node_count(), experiment.train().node_count());
+    assert_eq!(loaded.cascades(), experiment.train().cascades());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mention_table_round_trips_through_csv() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let world = GdeltWorld::generate(
+        GdeltConfig {
+            sites: 300,
+            ..GdeltConfig::default()
+        },
+        &mut rng,
+    );
+    let table = world.simulate_events(50, &mut rng);
+    let path = temp_dir().join("mentions.csv");
+    table.save_csv(&path).unwrap();
+    let loaded = MentionTable::load_csv(&path).unwrap();
+    assert_eq!(loaded.mentions().len(), table.mentions().len());
+    // Aggregations agree.
+    assert_eq!(loaded.reports_per_event(), table.reports_per_event());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn loaded_corpus_supports_inference() {
+    // Persistence must not break downstream processing.
+    let experiment = SbmExperiment::build(
+        &SbmExperimentConfig {
+            sbm: SbmConfig {
+                nodes: 100,
+                community_size: 20,
+                intra_prob: 0.3,
+                inter_prob: 0.002,
+            },
+            cascades: 80,
+            ..SbmExperimentConfig::default()
+        },
+        3,
+    );
+    let path = temp_dir().join("corpus2.jsonl");
+    store::save(experiment.train(), &path).unwrap();
+    let loaded = store::load(&path).unwrap();
+
+    let direct = infer_embeddings(experiment.train(), &InferOptions::default());
+    let via_disk = infer_embeddings(&loaded, &InferOptions::default());
+    assert_eq!(direct.embeddings, via_disk.embeddings);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn embeddings_serialize_through_json() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let emb = Embeddings::random(50, 4, 0.05, 0.5, &mut rng);
+    let json = serde_json::to_string(&emb).unwrap();
+    let back: Embeddings = serde_json::from_str(&json).unwrap();
+    assert!(emb.max_abs_diff(&back) < 1e-12);
+}
