@@ -120,5 +120,10 @@ fn bench_topics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_strategy, bench_balance, bench_topics);
+criterion_group!(
+    benches,
+    bench_parallel_strategy,
+    bench_balance,
+    bench_topics
+);
 criterion_main!(benches);

@@ -15,11 +15,7 @@ fn corpus(nodes: usize, cascades: usize, seed: u64) -> CascadeSet {
     let config = SbmConfig::paper_default().with_nodes(nodes);
     let mut rng = StdRng::seed_from_u64(seed);
     let graph = sbm::generate(&config, &mut rng);
-    let rates = planted_embeddings(
-        &config.ground_truth(),
-        &PlantedConfig::default(),
-        &mut rng,
-    );
+    let rates = planted_embeddings(&config.ground_truth(), &PlantedConfig::default(), &mut rng);
     let sim = Simulator::new(
         &graph,
         rates,
@@ -86,12 +82,7 @@ fn bench_hierarchy(c: &mut Criterion) {
     let membership: Vec<usize> = (0..2_000).map(|i| i / 40).collect();
     let partition = Partition::from_membership(&membership);
     c.bench_function("merge_hierarchy_build_50_leaves", |bench| {
-        bench.iter(|| {
-            black_box(MergeHierarchy::build(
-                partition.clone(),
-                Balance::NodeCount,
-            ))
-        })
+        bench.iter(|| black_box(MergeHierarchy::build(partition.clone(), Balance::NodeCount)))
     });
 }
 

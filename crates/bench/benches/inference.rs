@@ -46,7 +46,13 @@ fn bench_gradient(c: &mut Criterion) {
                 ga.fill(0.0);
                 gb.fill(0.0);
                 black_box(accumulate_gradients(
-                    &cascade, &a, &b, K, &mut ga, &mut gb, &mut scratch,
+                    &cascade,
+                    &a,
+                    &b,
+                    K,
+                    &mut ga,
+                    &mut gb,
+                    &mut scratch,
                 ))
             })
         });

@@ -60,5 +60,10 @@ fn bench_cross_validation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_features, bench_svm_train, bench_cross_validation);
+criterion_group!(
+    benches,
+    bench_features,
+    bench_svm_train,
+    bench_cross_validation
+);
 criterion_main!(benches);

@@ -28,9 +28,8 @@ fn main() {
     println!("== Baselines: embedding-SVM vs adopter count vs Hawkes point process ==");
     let experiment = standard_sbm(nodes, cascades, seed);
     let window = experiment.config().observation_window;
-    let (inference, secs) = viralcast_bench::timed(|| {
-        infer_embeddings(experiment.train(), &InferOptions::default())
-    });
+    let (inference, secs) =
+        viralcast_bench::timed(|| infer_embeddings(experiment.train(), &InferOptions::default()));
     println!("embedding inference: {secs:.1}s\n");
 
     let task = PredictionTask {
@@ -44,11 +43,7 @@ fn main() {
     };
     let count_dataset = extract_dataset(&inference.embeddings, experiment.test(), &count_task);
     // Count-only: strip the three embedding features.
-    let count_only: Vec<Vec<f64>> = count_dataset
-        .features
-        .iter()
-        .map(|f| vec![f[3]])
-        .collect();
+    let count_only: Vec<Vec<f64>> = count_dataset.features.iter().map(|f| vec![f[3]]).collect();
 
     // Hawkes baseline fitted on the training corpus.
     let hawkes_config = HawkesFitConfig {
@@ -95,7 +90,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["size >", "#viral", "embeddings", "count", "hawkes", "always-pos"],
+        &[
+            "size >",
+            "#viral",
+            "embeddings",
+            "count",
+            "hawkes",
+            "always-pos",
+        ],
         &rows,
     );
     println!(

@@ -79,7 +79,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["regulariser", "seconds", "intra rate", "inter rate", "contrast"],
+        &[
+            "regulariser",
+            "seconds",
+            "intra rate",
+            "inter rate",
+            "contrast",
+        ],
         &rows,
     );
     println!(

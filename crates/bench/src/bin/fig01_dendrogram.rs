@@ -101,5 +101,8 @@ fn main() {
         .map(|r| r[3].trim_end_matches('%').parse::<f64>().unwrap() / 100.0)
         .sum::<f64>()
         / rows.len() as f64;
-    println!("\nmean cluster purity: {:.2} (paper: visually ~pure regional clusters)", purity);
+    println!(
+        "\nmean cluster purity: {:.2} (paper: visually ~pure regional clusters)",
+        purity
+    );
 }

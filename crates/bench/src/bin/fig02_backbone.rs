@@ -60,7 +60,10 @@ fn main() {
                 counts[regions[u.index()]] += 1;
             }
             let names = ["US", "EU", "AU", "Mixed"];
-            let (best, n) = (0..4).map(|r| (r, counts[r])).max_by_key(|&(_, n)| n).unwrap();
+            let (best, n) = (0..4)
+                .map(|r| (r, counts[r]))
+                .max_by_key(|&(_, n)| n)
+                .unwrap();
             vec![
                 format!("{i}"),
                 format!("{}", c.len()),

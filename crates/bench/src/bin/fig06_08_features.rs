@@ -27,9 +27,8 @@ fn main() {
     println!("world: {nodes} nodes, {cascades} cascades, first 2/7 of the window observed");
     let experiment = standard_sbm(nodes, cascades, seed);
 
-    let (inference, secs) = viralcast_bench::timed(|| {
-        infer_embeddings(experiment.train(), &InferOptions::default())
-    });
+    let (inference, secs) =
+        viralcast_bench::timed(|| infer_embeddings(experiment.train(), &InferOptions::default()));
     println!(
         "inference: {:.1}s, {} communities",
         secs,

@@ -23,9 +23,8 @@ fn main() {
 
     println!("== Figure 9: popular-cascade prediction accuracy (SBM) ==");
     let experiment = standard_sbm(nodes, cascades, seed);
-    let (inference, secs) = viralcast_bench::timed(|| {
-        infer_embeddings(experiment.train(), &InferOptions::default())
-    });
+    let (inference, secs) =
+        viralcast_bench::timed(|| infer_embeddings(experiment.train(), &InferOptions::default()));
     println!(
         "inferred embeddings from {} cascades in {secs:.1}s; evaluating on {}",
         experiment.train().len(),

@@ -13,8 +13,8 @@
 
 use viralcast::prelude::*;
 use viralcast_bench::{
-    core_sweep, print_table, save_timings, standard_sbm_local as standard_sbm, time_inference, Flags, TimingPoint,
-    TimingSet,
+    core_sweep, print_table, save_timings, standard_sbm_local as standard_sbm, time_inference,
+    Flags, TimingPoint, TimingSet,
 };
 
 fn main() {
@@ -74,7 +74,10 @@ fn main() {
         if times.len() == node_sizes.len() {
             let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = times.iter().cloned().fold(0.0, f64::max);
-            println!("  cores = {p:>3}: min {min:.2}s, max {max:.2}s, spread {:.0}%", 100.0 * (max - min) / min);
+            println!(
+                "  cores = {p:>3}: min {min:.2}s, max {max:.2}s, spread {:.0}%",
+                100.0 * (max - min) / min
+            );
         }
     }
 

@@ -46,7 +46,10 @@ fn main() {
 
     let (inference, secs) =
         viralcast_bench::timed(|| infer_embeddings(&train, &InferOptions::default()));
-    println!("inference: {secs:.1}s, {} communities", inference.partition.community_count());
+    println!(
+        "inference: {secs:.1}s, {} communities",
+        inference.partition.community_count()
+    );
 
     let window = world.config().observation_hours;
     let task = PredictionTask {
@@ -73,7 +76,9 @@ fn main() {
     let max_size = dataset.sizes.iter().copied().max().unwrap_or(0);
     let step = (max_size / 12).max(1);
     let thresholds: Vec<usize> = (0..max_size).step_by(step).collect();
-    println!("\nF1 vs report-count threshold (predicting 3-day totals from the first {early_hours} h):");
+    println!(
+        "\nF1 vs report-count threshold (predicting 3-day totals from the first {early_hours} h):"
+    );
     let rows: Vec<Vec<String>> = threshold_sweep(&dataset, &thresholds, &task)
         .iter()
         .map(|p| {

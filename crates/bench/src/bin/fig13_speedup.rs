@@ -15,8 +15,8 @@
 
 use viralcast::prelude::*;
 use viralcast_bench::{
-    core_sweep, load_timings, print_table, standard_sbm_local as standard_sbm, time_inference, Flags, TimingPoint,
-    TimingSet,
+    core_sweep, load_timings, print_table, standard_sbm_local as standard_sbm, time_inference,
+    Flags, TimingPoint, TimingSet,
 };
 
 fn main() {
@@ -35,11 +35,7 @@ fn main() {
 
     println!("== Figure 13: speedup and efficiency of the parallel inference ==");
     let set = match load_timings("fig10.json") {
-        Some(s)
-            if corpus_sizes
-                .iter()
-                .all(|&c| s.t1(c, nodes).is_some()) =>
-        {
+        Some(s) if corpus_sizes.iter().all(|&c| s.t1(c, nodes).is_some()) => {
             println!("(reusing measurements from fig10_time_vs_cores)\n");
             s
         }
@@ -55,8 +51,7 @@ fn main() {
                     ..InferOptions::default().hierarchical
                 };
                 for &p in &cores {
-                    let secs =
-                        time_inference(experiment.train(), &outcome.partition, &hier, p);
+                    let secs = time_inference(experiment.train(), &outcome.partition, &hier, p);
                     println!("C = {c:>5}, cores = {p:>3}: {secs:.2}s");
                     s.points.push(TimingPoint {
                         cores: p,

@@ -210,22 +210,36 @@ pub fn load_timings(name: &str) -> Option<TimingSet> {
 }
 
 /// Runs the hierarchical inference on a fixed partition under a rayon
-/// pool of `cores` threads and returns the wall-clock seconds of the
-/// optimisation (community detection is excluded, matching the paper's
-/// "the inference algorithm and community detection algorithm SLPA use
-/// the same parameters in all the cases" protocol).
+/// pool of `cores` threads and returns the full [`InferenceReport`],
+/// whose span tree (`report.timings`) carries the per-level wall-clock
+/// breakdown.
+pub fn time_inference_report(
+    cascades: &CascadeSet,
+    partition: &Partition,
+    config: &HierarchicalConfig,
+    cores: usize,
+) -> InferenceReport {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cores)
+        .build()
+        .expect("failed to build rayon pool");
+    let (_, report) = pool.install(|| infer(cascades, partition, config));
+    report
+}
+
+/// Wall-clock seconds of one hierarchical inference, read from the
+/// inference's own span-timing tree rather than an external stopwatch —
+/// pool setup and teardown are excluded. Community detection is
+/// excluded too, matching the paper's "the inference algorithm and
+/// community detection algorithm SLPA use the same parameters in all
+/// the cases" protocol.
 pub fn time_inference(
     cascades: &CascadeSet,
     partition: &Partition,
     config: &HierarchicalConfig,
     cores: usize,
 ) -> f64 {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(cores)
-        .build()
-        .expect("failed to build rayon pool");
-    let (_, seconds) = timed(|| pool.install(|| infer(cascades, partition, config)));
-    seconds
+    time_inference_report(cascades, partition, config, cores).total_seconds()
 }
 
 /// The default core sweep of Figures 10/13: 1, 2, 4, …, `max`.
@@ -313,9 +327,24 @@ mod tests {
     fn timing_set_speedups() {
         let set = TimingSet {
             points: vec![
-                TimingPoint { cores: 1, cascades: 100, nodes: 10, seconds: 8.0 },
-                TimingPoint { cores: 4, cascades: 100, nodes: 10, seconds: 2.0 },
-                TimingPoint { cores: 1, cascades: 200, nodes: 10, seconds: 16.0 },
+                TimingPoint {
+                    cores: 1,
+                    cascades: 100,
+                    nodes: 10,
+                    seconds: 8.0,
+                },
+                TimingPoint {
+                    cores: 4,
+                    cascades: 100,
+                    nodes: 10,
+                    seconds: 2.0,
+                },
+                TimingPoint {
+                    cores: 1,
+                    cascades: 200,
+                    nodes: 10,
+                    seconds: 16.0,
+                },
             ],
         };
         let s = set.speedups(100, 10);

@@ -56,9 +56,7 @@ impl Dendrogram {
 
     /// Flat clustering keeping only merges with `distance <= threshold`.
     pub fn cut_distance(&self, threshold: f64) -> Vec<usize> {
-        let applied = self
-            .merges
-            .partition_point(|m| m.distance <= threshold);
+        let applied = self.merges.partition_point(|m| m.distance <= threshold);
         self.cut_after(applied)
     }
 

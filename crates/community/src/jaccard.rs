@@ -10,8 +10,14 @@ use viralcast_graph::NodeId;
 /// Jaccard index of two node sets given as *sorted, deduplicated*
 /// slices. Empty-vs-empty is defined as 1 (identical sets).
 pub fn jaccard_index(a: &[NodeId], b: &[NodeId]) -> f64 {
-    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input must be sorted/deduped");
-    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input must be sorted/deduped");
+    debug_assert!(
+        a.windows(2).all(|w| w[0] < w[1]),
+        "input must be sorted/deduped"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0] < w[1]),
+        "input must be sorted/deduped"
+    );
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }

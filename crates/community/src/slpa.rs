@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use viralcast_graph::{DiGraph, NodeId};
+use viralcast_obs as obs;
 
 /// SLPA parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -144,6 +145,7 @@ impl Slpa {
     /// assert_eq!(result.partition.node_count(), 6);
     /// ```
     pub fn run(&self, graph: &DiGraph) -> SlpaResult {
+        let _span = obs::Span::enter("slpa");
         let n = graph.node_count();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut memories: Vec<Memory> = (0..n).map(Memory::with_initial).collect();
@@ -172,10 +174,7 @@ impl Slpa {
                 // the seeded rng): a fixed tie-break such as "smallest
                 // label" systematically floods low node ids across weak
                 // inter-community bridges and merges planted blocks.
-                let max_w = votes
-                    .iter()
-                    .map(|v| v.1)
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let max_w = votes.iter().map(|v| v.1).fold(f64::NEG_INFINITY, f64::max);
                 let top: Vec<usize> = votes
                     .iter()
                     .filter(|v| v.1 >= max_w - 1e-12)
@@ -191,8 +190,24 @@ impl Slpa {
             .iter()
             .map(|m| m.above(self.config.threshold))
             .collect();
+        let partition = Partition::from_membership(&raw);
+        obs::metrics()
+            .counter("slpa.iterations")
+            .incr(self.config.iterations as u64);
+        obs::metrics()
+            .gauge("slpa.communities")
+            .set(partition.community_count() as f64);
+        obs::info(
+            "slpa",
+            "label propagation finished",
+            &[
+                ("nodes", n.into()),
+                ("iterations", self.config.iterations.into()),
+                ("communities", partition.community_count().into()),
+            ],
+        );
         SlpaResult {
-            partition: Partition::from_membership(&raw),
+            partition,
             overlapping,
         }
     }
@@ -298,8 +313,7 @@ mod tests {
             for j in (i + 1)..cfg.nodes {
                 total += 1;
                 let same_gt = gt[i] == gt[j];
-                let same_p =
-                    p.community_of(NodeId::new(i)) == p.community_of(NodeId::new(j));
+                let same_p = p.community_of(NodeId::new(i)) == p.community_of(NodeId::new(j));
                 if same_gt == same_p {
                     agree += 1;
                 }

@@ -250,8 +250,7 @@ mod tests {
         assert_eq!(merges.len(), 3);
         // First two merges are the tight pairs (order between them is a
         // tie), final merge joins the two internal clusters.
-        let firsts: Vec<(usize, usize)> =
-            merges[..2].iter().map(|m| (m.left, m.right)).collect();
+        let firsts: Vec<(usize, usize)> = merges[..2].iter().map(|m| (m.left, m.right)).collect();
         assert!(firsts.contains(&(0, 1)));
         assert!(firsts.contains(&(2, 3)));
         assert_eq!((merges[2].left, merges[2].right), (4, 5));

@@ -9,50 +9,119 @@
 //! ```
 //!
 //! Every subcommand is deterministic given `--seed`. `--threads N`
-//! bounds the rayon pool (default: all available).
+//! bounds the rayon pool (default: all available). Observability flags
+//! shared by all subcommands:
+//!
+//! * `--log-level L` — `off|error|warn|info|debug|trace` stderr logging
+//!   (default `info`);
+//! * `--trace FILE` — append the structured event stream as JSONL;
+//! * `--metrics-out FILE` — write the machine-readable run report
+//!   (span-timing tree + metrics snapshot, schema
+//!   `viralcast-run-report/v1`).
+//!
+//! Unknown flags, missing values and malformed values are usage errors
+//! (exit code 2); runtime failures exit with code 1.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use viralcast::obs::{self, JsonValue};
 use viralcast::prelude::*;
 use viralcast::propagation::store;
 
+/// A CLI failure: usage errors exit 2 and print the usage text, runtime
+/// errors exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn runtime_err(message: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(message.to_string())
+}
+
 fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return Err(usage_err("missing command"));
     };
-    let flags = Flags::parse(args);
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let spec =
+        command_flags(&command).ok_or_else(|| usage_err(format!("unknown command {command:?}")))?;
+    let flags = Flags::parse(args, spec)?;
 
-    if let Some(threads) = flags.get_usize("threads") {
+    if let Some(threads) = flags.opt_usize("threads")? {
         rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build_global()
             .ok();
     }
 
-    let result = match command.as_str() {
-        "simulate-sbm" => simulate_sbm(&flags),
-        "simulate-gdelt" => simulate_gdelt(&flags),
-        "infer" => infer_cmd(&flags),
-        "predict" => predict_cmd(&flags),
-        "influencers" => influencers_cmd(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    // Observability wiring: stderr logging at the requested level, an
+    // optional JSONL event trace, and an optional run report.
+    let level = match flags.get("log-level") {
+        Some(s) => obs::Level::parse(s).map_err(|e| usage_err(format!("--log-level: {e}")))?,
+        None => Some(obs::Level::Info),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
-        }
+    obs::logger().set_level(level);
+    if level.is_some() {
+        obs::logger().add_sink(Box::new(obs::StderrSink));
     }
+    if let Some(path) = flags.opt_path("trace") {
+        let sink = obs::JsonlSink::create(&path)
+            .map_err(|e| runtime_err(format!("cannot open trace file {}: {e}", path.display())))?;
+        obs::logger().add_sink(Box::new(sink));
+    }
+    let metrics_out = flags.opt_path("metrics-out");
+
+    let recorder = Recorder::new("viralcast");
+    let attrs = {
+        let _recording = recorder.install();
+        match command.as_str() {
+            "simulate-sbm" => simulate_sbm(&flags)?,
+            "simulate-gdelt" => simulate_gdelt(&flags)?,
+            "infer" => infer_cmd(&flags, &recorder)?,
+            "predict" => predict_cmd(&flags)?,
+            "influencers" => influencers_cmd(&flags)?,
+            _ => unreachable!("validated by command_flags"),
+        }
+    };
+    obs::logger().flush();
+
+    if let Some(path) = metrics_out {
+        let mut report = RunReport::new(recorder.finish(), obs::metrics().snapshot())
+            .attr("command", command.as_str());
+        for (key, value) in attrs {
+            report = report.attr(key, value);
+        }
+        report
+            .save(&path)
+            .map_err(|e| runtime_err(format!("cannot write run report {}: {e}", path.display())))?;
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -63,13 +132,68 @@ USAGE:
   viralcast simulate-gdelt --out FILE [--sites N] [--events E] [--seed S]
   viralcast infer          --corpus FILE --out FILE [--topics K] [--seed S] [--threads T]
   viralcast predict        --corpus FILE --embeddings FILE [--window W] [--early F] [--top P]
-  viralcast influencers    --embeddings FILE [--top K]";
+  viralcast influencers    --embeddings FILE [--top K]
 
-fn simulate_sbm(flags: &Flags) -> Result<(), String> {
+OBSERVABILITY (all commands):
+  --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
+  --trace FILE      write the structured event stream as JSONL
+  --metrics-out FILE  write the JSON run report (span timings + metrics)
+  --threads T       bound the rayon worker pool";
+
+/// One accepted flag: name and whether it takes a value.
+type FlagSpec = (&'static str, bool);
+
+/// Flags every subcommand accepts.
+const COMMON_FLAGS: [FlagSpec; 4] = [
+    ("threads", true),
+    ("log-level", true),
+    ("metrics-out", true),
+    ("trace", true),
+];
+
+/// The per-command flag vocabulary; `None` for unknown commands.
+fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
+    let own: &[FlagSpec] = match command {
+        "simulate-sbm" => &[
+            ("out", true),
+            ("nodes", true),
+            ("cascades", true),
+            ("seed", true),
+            ("local", false),
+        ],
+        "simulate-gdelt" => &[
+            ("out", true),
+            ("sites", true),
+            ("events", true),
+            ("seed", true),
+        ],
+        "infer" => &[
+            ("corpus", true),
+            ("out", true),
+            ("topics", true),
+            ("seed", true),
+        ],
+        "predict" => &[
+            ("corpus", true),
+            ("embeddings", true),
+            ("window", true),
+            ("early", true),
+            ("top", true),
+        ],
+        "influencers" => &[("embeddings", true), ("top", true)],
+        _ => return None,
+    };
+    Some(own.iter().chain(COMMON_FLAGS.iter()).copied().collect())
+}
+
+/// Run-report attributes a subcommand wants in the output JSON.
+type Attrs = Vec<(String, JsonValue)>;
+
+fn simulate_sbm(flags: &Flags) -> Result<Attrs, CliError> {
     let out = flags.require_path("out")?;
-    let nodes = flags.usize("nodes", 2_000);
-    let cascades = flags.usize("cascades", 3_000);
-    let seed = flags.u64("seed", 1);
+    let nodes = flags.usize("nodes", 2_000)?;
+    let cascades = flags.usize("cascades", 3_000)?;
+    let seed = flags.u64("seed", 1)?;
     let mut config = SbmExperimentConfig {
         sbm: SbmConfig {
             nodes,
@@ -87,48 +211,68 @@ fn simulate_sbm(flags: &Flags) -> Result<(), String> {
             jitter: 0.3,
         };
     }
-    let experiment = SbmExperiment::build(&config, seed);
+    let experiment = {
+        let _span = Span::enter("simulate");
+        SbmExperiment::build(&config, seed)
+    };
     // Persist the full corpus (train ∥ test in order).
     let mut all = experiment.train().clone();
     for c in experiment.test().cascades() {
         all.push(c.clone());
     }
-    store::save(&all, &out).map_err(|e| e.to_string())?;
+    {
+        let _span = Span::enter("save_corpus");
+        store::save(&all, &out).map_err(runtime_err)?;
+    }
     println!(
         "wrote {} cascades over {nodes} nodes to {}",
         all.len(),
         out.display()
     );
-    Ok(())
+    Ok(vec![
+        ("nodes".into(), nodes.into()),
+        ("cascades".into(), all.len().into()),
+        ("seed".into(), seed.into()),
+    ])
 }
 
-fn simulate_gdelt(flags: &Flags) -> Result<(), String> {
+fn simulate_gdelt(flags: &Flags) -> Result<Attrs, CliError> {
     let out = flags.require_path("out")?;
-    let sites = flags.usize("sites", 2_000);
-    let events = flags.usize("events", 2_600);
-    let seed = flags.u64("seed", 1);
+    let sites = flags.usize("sites", 2_000)?;
+    let events = flags.usize("events", 2_600)?;
+    let seed = flags.u64("seed", 1)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let world = GdeltWorld::generate(
-        GdeltConfig {
-            sites,
-            ..GdeltConfig::default()
-        },
-        &mut rng,
-    );
-    let table = world.simulate_events(events, &mut rng);
-    table.save_csv(&out).map_err(|e| e.to_string())?;
+    let table = {
+        let _span = Span::enter("simulate");
+        let world = GdeltWorld::generate(
+            GdeltConfig {
+                sites,
+                ..GdeltConfig::default()
+            },
+            &mut rng,
+        );
+        world.simulate_events(events, &mut rng)
+    };
+    {
+        let _span = Span::enter("save_corpus");
+        table.save_csv(&out).map_err(runtime_err)?;
+    }
     println!(
         "wrote {} mentions of {events} events across {sites} sites to {}",
         table.mentions().len(),
         out.display()
     );
-    Ok(())
+    Ok(vec![
+        ("sites".into(), sites.into()),
+        ("events".into(), events.into()),
+        ("mentions".into(), table.mentions().len().into()),
+    ])
 }
 
-fn infer_cmd(flags: &Flags) -> Result<(), String> {
+fn infer_cmd(flags: &Flags, recorder: &Recorder) -> Result<Attrs, CliError> {
     let corpus_path = flags.require_path("corpus")?;
     let out = flags.require_path("out")?;
-    let topics = flags.usize("topics", 8);
+    let topics = flags.usize("topics", 8)?;
     let corpus = load_corpus(&corpus_path)?;
     println!(
         "inferring {topics}-topic embeddings from {} cascades over {} nodes…",
@@ -143,123 +287,222 @@ fn infer_cmd(flags: &Flags) -> Result<(), String> {
             ..InferOptions::default()
         },
     );
+    // The pipeline timed itself under its own recorder; graft its tree
+    // so the run report nests cooccurrence/slpa/hierarchical here.
+    recorder.attach_child(outcome.timings.clone());
     println!(
         "…done in {:.1}s ({} communities, final LL {:.1})",
         start.elapsed().as_secs_f64(),
         outcome.partition.community_count(),
         outcome.report.final_ll()
     );
-    outcome
-        .embeddings
-        .save_json(&out)
-        .map_err(|e| e.to_string())?;
+    {
+        let _span = Span::enter("save_embeddings");
+        outcome.embeddings.save_json(&out).map_err(runtime_err)?;
+    }
     println!("embeddings saved to {}", out.display());
-    Ok(())
+
+    // Per-level detail including the per-epoch objective trajectory.
+    let levels: Vec<JsonValue> = outcome
+        .report
+        .levels
+        .iter()
+        .map(|level| {
+            JsonValue::obj(vec![
+                ("level", level.level.into()),
+                ("groups", level.groups.into()),
+                ("subcascades", level.subcascades.into()),
+                ("epochs", level.epochs.into()),
+                ("final_ll", level.final_ll.into()),
+                ("ll_trajectory", level_trajectory(level).into()),
+            ])
+        })
+        .collect();
+    Ok(vec![
+        ("nodes".into(), corpus.node_count().into()),
+        ("cascades".into(), corpus.len().into()),
+        ("topics".into(), topics.into()),
+        (
+            "communities".into(),
+            outcome.partition.community_count().into(),
+        ),
+        ("final_ll".into(), outcome.report.final_ll().into()),
+        ("levels".into(), JsonValue::Arr(levels)),
+    ])
 }
 
-fn predict_cmd(flags: &Flags) -> Result<(), String> {
+/// The level's objective per epoch, summed over its groups. Groups
+/// converge at different epochs; a finished group contributes its final
+/// objective to later epochs so the sum stays comparable across the
+/// whole trajectory.
+fn level_trajectory(level: &viralcast::embed::LevelSummary) -> Vec<f64> {
+    let len = level
+        .group_reports
+        .iter()
+        .map(|g| g.ll_history.len())
+        .max()
+        .unwrap_or(0);
+    (0..len)
+        .map(|epoch| {
+            level
+                .group_reports
+                .iter()
+                .filter_map(|g| g.ll_history.get(epoch).or(g.ll_history.last()))
+                .sum()
+        })
+        .collect()
+}
+
+fn predict_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let corpus_path = flags.require_path("corpus")?;
     let emb_path = flags.require_path("embeddings")?;
-    let window = flags.f64("window", 1.0);
-    let early = flags.f64("early", 2.0 / 7.0);
-    let top = flags.f64("top", 0.2);
+    let window = flags.f64("window", 1.0)?;
+    let early = flags.f64("early", 2.0 / 7.0)?;
+    let top = flags.f64("top", 0.2)?;
     let corpus = load_corpus(&corpus_path)?;
-    let embeddings = Embeddings::load_json(&emb_path).map_err(|e| e.to_string())?;
+    let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
     if embeddings.node_count() < corpus.node_count() {
-        return Err(format!(
+        return Err(runtime_err(format!(
             "embeddings cover {} nodes but the corpus references {}",
             embeddings.node_count(),
             corpus.node_count()
-        ));
+        )));
     }
     let task = PredictionTask {
         window,
         early_fraction: early,
         ..PredictionTask::default()
     };
-    let dataset = extract_dataset(&embeddings, &corpus, &task);
-    let max = dataset.sizes.iter().copied().max().unwrap_or(0);
-    let mut thresholds: Vec<usize> = (0..max).step_by((max / 10).max(1)).collect();
-    thresholds.push(dataset.top_fraction_threshold(top));
-    thresholds.sort_unstable();
-    thresholds.dedup();
-    println!("{:>8} {:>8} {:>7} {:>7} {:>7}", "size >", "#viral", "F1", "prec", "recall");
-    for p in threshold_sweep(&dataset, &thresholds, &task) {
+    let sweep = {
+        let _span = Span::enter("predict");
+        let dataset = extract_dataset(&embeddings, &corpus, &task);
+        let max = dataset.sizes.iter().copied().max().unwrap_or(0);
+        let mut thresholds: Vec<usize> = (0..max).step_by((max / 10).max(1)).collect();
+        thresholds.push(dataset.top_fraction_threshold(top));
+        thresholds.sort_unstable();
+        thresholds.dedup();
+        threshold_sweep(&dataset, &thresholds, &task)
+    };
+    println!(
+        "{:>8} {:>8} {:>7} {:>7} {:>7}",
+        "size >", "#viral", "F1", "prec", "recall"
+    );
+    let mut best_f1 = 0.0f64;
+    for p in &sweep {
         println!(
             "{:>8} {:>8} {:>7.3} {:>7.3} {:>7.3}",
             p.threshold, p.positives, p.f1, p.precision, p.recall
         );
+        best_f1 = best_f1.max(p.f1);
     }
-    Ok(())
+    Ok(vec![
+        ("cascades".into(), corpus.len().into()),
+        ("window".into(), window.into()),
+        ("best_f1".into(), best_f1.into()),
+    ])
 }
 
-fn influencers_cmd(flags: &Flags) -> Result<(), String> {
+fn influencers_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let emb_path = flags.require_path("embeddings")?;
-    let top = flags.usize("top", 10);
-    let embeddings = Embeddings::load_json(&emb_path).map_err(|e| e.to_string())?;
+    let top = flags.usize("top", 10)?;
+    let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
     println!("{:>6} {:>8} {:>10}", "rank", "node", "‖A‖");
-    for (i, r) in top_influencers(&embeddings, top).iter().enumerate() {
+    let ranked = top_influencers(&embeddings, top);
+    for (i, r) in ranked.iter().enumerate() {
         println!("{:>6} {:>8} {:>10.4}", i + 1, r.node.0, r.score);
     }
-    Ok(())
+    Ok(vec![
+        ("nodes".into(), embeddings.node_count().into()),
+        ("top".into(), ranked.len().into()),
+    ])
 }
 
 fn load_corpus(path: &Path) -> Result<CascadeSet, String> {
+    let _span = Span::enter("load_corpus");
     store::load(path).map_err(|e| format!("cannot load corpus {}: {e}", path.display()))
 }
 
-/// Minimal `--flag value` parser (kept local so the binary has no extra
-/// dependencies).
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Runtime(message)
+    }
+}
+
+/// Strict `--flag value` parser: only flags in the command's vocabulary
+/// are accepted, value flags must be followed by a value, and malformed
+/// values are reported instead of silently falling back to defaults.
 struct Flags {
     values: HashMap<String, String>,
 }
 
 impl Flags {
-    fn parse<I: Iterator<Item = String>>(args: I) -> Self {
+    fn parse<I: Iterator<Item = String>>(args: I, spec: Vec<FlagSpec>) -> Result<Self, CliError> {
         let mut values = HashMap::new();
         let mut iter = args.peekable();
         while let Some(arg) = iter.next() {
-            if let Some(key) = arg.strip_prefix("--") {
-                let value = match iter.peek() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(usage_err(format!("unexpected argument {arg:?}")));
+            };
+            let Some(&(name, takes_value)) = spec.iter().find(|(name, _)| *name == key) else {
+                return Err(usage_err(format!("unknown flag --{key}")));
+            };
+            let value = if takes_value {
+                match iter.peek() {
                     Some(v) if !v.starts_with("--") => iter.next().unwrap(),
-                    _ => "true".to_string(),
-                };
-                values.insert(key.to_string(), value);
+                    _ => return Err(usage_err(format!("flag --{key} requires a value"))),
+                }
+            } else {
+                "true".to_string()
+            };
+            if values.insert(name.to_string(), value).is_some() {
+                return Err(usage_err(format!("flag --{key} given more than once")));
             }
         }
-        Flags { values }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
     }
 
     fn has(&self, key: &str) -> bool {
         self.values.contains_key(key)
     }
 
-    fn get_usize(&self, key: &str) -> Option<usize> {
-        self.values.get(key).and_then(|v| v.parse().ok())
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| {
+                usage_err(format!(
+                    "malformed value {raw:?} for --{key} (expected {})",
+                    std::any::type_name::<T>()
+                ))
+            }),
+        }
     }
 
-    fn usize(&self, key: &str, default: usize) -> usize {
-        self.get_usize(key).unwrap_or(default)
+    fn opt_usize(&self, key: &str) -> Result<Option<usize>, CliError> {
+        self.parsed(key)
     }
 
-    fn u64(&self, key: &str, default: u64) -> u64 {
-        self.values
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    fn usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        Ok(self.parsed(key)?.unwrap_or(default))
     }
 
-    fn f64(&self, key: &str, default: f64) -> f64 {
-        self.values
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    fn u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        Ok(self.parsed(key)?.unwrap_or(default))
     }
 
-    fn require_path(&self, key: &str) -> Result<PathBuf, String> {
-        self.values
-            .get(key)
-            .map(PathBuf::from)
-            .ok_or_else(|| format!("missing required flag --{key}"))
+    fn f64(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        Ok(self.parsed(key)?.unwrap_or(default))
+    }
+
+    fn opt_path(&self, key: &str) -> Option<PathBuf> {
+        self.get(key).map(PathBuf::from)
+    }
+
+    fn require_path(&self, key: &str) -> Result<PathBuf, CliError> {
+        self.opt_path(key)
+            .ok_or_else(|| usage_err(format!("missing required flag --{key}")))
     }
 }

@@ -142,9 +142,10 @@ impl SbmExperiment {
                 if u == v {
                     continue;
                 }
-                let r = self
-                    .ground_truth
-                    .rate(viralcast_graph::NodeId::new(u), viralcast_graph::NodeId::new(v));
+                let r = self.ground_truth.rate(
+                    viralcast_graph::NodeId::new(u),
+                    viralcast_graph::NodeId::new(v),
+                );
                 if membership[u] == membership[v] {
                     intra.0 += r;
                     intra.1 += 1;
@@ -154,8 +155,16 @@ impl SbmExperiment {
                 }
             }
         }
-        let intra_mean = if intra.1 == 0 { 0.0 } else { intra.0 / intra.1 as f64 };
-        let inter_mean = if inter.1 == 0 { 0.0 } else { inter.0 / inter.1 as f64 };
+        let intra_mean = if intra.1 == 0 {
+            0.0
+        } else {
+            intra.0 / intra.1 as f64
+        };
+        let inter_mean = if inter.1 == 0 {
+            0.0
+        } else {
+            inter.0 / inter.1 as f64
+        };
         if inter_mean == 0.0 {
             f64::INFINITY
         } else {
@@ -207,12 +216,7 @@ mod tests {
     #[test]
     fn cascades_meet_min_size_mostly() {
         let e = SbmExperiment::build(&small(), 5);
-        let multi = e
-            .train()
-            .cascades()
-            .iter()
-            .filter(|c| c.len() >= 2)
-            .count();
+        let multi = e.train().cascades().iter().filter(|c| c.len() >= 2).count();
         assert!(multi * 10 >= e.train().len() * 9);
     }
 

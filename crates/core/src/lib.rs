@@ -62,5 +62,6 @@ pub use viralcast_community as community;
 pub use viralcast_embed as embed;
 pub use viralcast_gdelt as gdelt;
 pub use viralcast_graph as graph;
+pub use viralcast_obs as obs;
 pub use viralcast_predict as predict;
 pub use viralcast_propagation as propagation;

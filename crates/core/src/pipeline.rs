@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use viralcast_community::{Partition, Slpa, SlpaConfig};
 use viralcast_embed::{infer, Embeddings, HierarchicalConfig, InferenceReport};
 use viralcast_graph::cooccurrence::{CooccurrenceGraph, CooccurrenceOptions};
+use viralcast_obs::{self as obs, StageTimings};
 use viralcast_propagation::CascadeSet;
 
 /// Options for the full inference pipeline.
@@ -64,43 +65,64 @@ pub struct InferenceOutcome {
     pub partition: Partition,
     /// The per-level optimiser trace.
     pub report: InferenceReport,
-    /// Seconds spent building the co-occurrence graph.
-    pub cooccurrence_seconds: f64,
-    /// Seconds spent in SLPA.
-    pub slpa_seconds: f64,
+    /// Aggregated wall-clock span tree, rooted at `"infer"` with
+    /// `cooccurrence`, `slpa` and `hierarchical` children.
+    pub timings: StageTimings,
 }
 
-/// Runs the full pipeline on a training corpus.
-pub fn infer_embeddings(cascades: &CascadeSet, options: &InferOptions) -> InferenceOutcome {
-    let n = cascades.node_count();
+impl InferenceOutcome {
+    /// Seconds spent building the co-occurrence graph.
+    pub fn cooccurrence_seconds(&self) -> f64 {
+        self.timings.seconds_of(&["cooccurrence"])
+    }
 
-    let t0 = std::time::Instant::now();
+    /// Seconds spent in SLPA.
+    pub fn slpa_seconds(&self) -> f64 {
+        self.timings.seconds_of(&["slpa"])
+    }
+
+    /// Total seconds across all pipeline stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.timings.child_seconds()
+    }
+}
+
+/// Stages 1–2: co-occurrence graph + SLPA communities. The per-stage
+/// spans land in whatever recorder the caller has installed.
+fn detect_communities(cascades: &CascadeSet, options: &InferOptions) -> Partition {
     let cooc = CooccurrenceGraph::build(
-        n,
+        cascades.node_count(),
         &cascades.node_sequences(),
         CooccurrenceOptions {
             successor_window: None,
             min_weight: options.min_cooccurrence_weight,
         },
     );
-    let cooccurrence_seconds = t0.elapsed().as_secs_f64();
+    Slpa::new(options.slpa).run(&cooc.undirected()).partition
+}
 
-    let t1 = std::time::Instant::now();
-    let partition = Slpa::new(options.slpa).run(&cooc.undirected()).partition;
-    let slpa_seconds = t1.elapsed().as_secs_f64();
-
-    let config = HierarchicalConfig {
-        topics: options.topics,
-        ..options.hierarchical
+/// Runs the full pipeline on a training corpus.
+pub fn infer_embeddings(cascades: &CascadeSet, options: &InferOptions) -> InferenceOutcome {
+    let recorder = obs::Recorder::new("infer");
+    let (partition, embeddings, report) = {
+        let _recording = recorder.install();
+        let partition = detect_communities(cascades, options);
+        let config = HierarchicalConfig {
+            topics: options.topics,
+            ..options.hierarchical
+        };
+        let (embeddings, report) = infer(cascades, &partition, &config);
+        (partition, embeddings, report)
     };
-    let (embeddings, report) = infer(cascades, &partition, &config);
+    // The hierarchical stage recorded into its own tree; graft it under
+    // the pipeline's so the run report shows one nested hierarchy.
+    recorder.attach_child(report.timings.clone());
 
     InferenceOutcome {
         embeddings,
         partition,
         report,
-        cooccurrence_seconds,
-        slpa_seconds,
+        timings: recorder.finish(),
     }
 }
 
@@ -135,35 +157,29 @@ pub fn update_embeddings(
         options.topics,
         "topic count cannot change across incremental updates"
     );
-    let n = new_cascades.node_count();
-
-    let t0 = std::time::Instant::now();
-    let cooc = CooccurrenceGraph::build(
-        n,
-        &new_cascades.node_sequences(),
-        CooccurrenceOptions {
-            successor_window: None,
-            min_weight: options.min_cooccurrence_weight,
-        },
-    );
-    let cooccurrence_seconds = t0.elapsed().as_secs_f64();
-    let t1 = std::time::Instant::now();
-    let partition = Slpa::new(options.slpa).run(&cooc.undirected()).partition;
-    let slpa_seconds = t1.elapsed().as_secs_f64();
-
-    let config = HierarchicalConfig {
-        topics: options.topics,
-        ..options.hierarchical
+    let recorder = obs::Recorder::new("infer");
+    let (partition, embeddings, report) = {
+        let _recording = recorder.install();
+        let partition = detect_communities(new_cascades, options);
+        let config = HierarchicalConfig {
+            topics: options.topics,
+            ..options.hierarchical
+        };
+        let (embeddings, report) = viralcast_embed::hierarchical::infer_warm(
+            new_cascades,
+            &partition,
+            &config,
+            embeddings,
+        );
+        (partition, embeddings, report)
     };
-    let (embeddings, report) =
-        viralcast_embed::hierarchical::infer_warm(new_cascades, &partition, &config, embeddings);
+    recorder.attach_child(report.timings.clone());
 
     InferenceOutcome {
         embeddings,
         partition,
         report,
-        cooccurrence_seconds,
-        slpa_seconds,
+        timings: recorder.finish(),
     }
 }
 
@@ -202,10 +218,13 @@ mod tests {
     #[test]
     fn pipeline_produces_full_size_embeddings() {
         let e = small_experiment(1);
-        let out = infer_embeddings(e.train(), &InferOptions {
-            topics: 4,
-            ..InferOptions::default()
-        });
+        let out = infer_embeddings(
+            e.train(),
+            &InferOptions {
+                topics: 4,
+                ..InferOptions::default()
+            },
+        );
         assert_eq!(out.embeddings.node_count(), 120);
         assert_eq!(out.embeddings.topic_count(), 4);
         assert!(!out.report.levels.is_empty());
@@ -244,10 +263,13 @@ mod tests {
     #[test]
     fn inferred_rates_separate_intra_from_inter() {
         let e = small_experiment(3);
-        let out = infer_embeddings(e.train(), &InferOptions {
-            topics: 6,
-            ..InferOptions::default()
-        });
+        let out = infer_embeddings(
+            e.train(),
+            &InferOptions {
+                topics: 6,
+                ..InferOptions::default()
+            },
+        );
         let membership = e.planted_membership();
         // Mean inferred rate over sampled intra vs inter pairs.
         let mut intra = (0.0, 0);
@@ -335,11 +357,7 @@ mod tests {
         // A tiny new corpus touching only nodes 0 and 1.
         let new = CascadeSet::new(
             120,
-            vec![Cascade::new(vec![
-                Infection::new(0u32, 0.0),
-                Infection::new(1u32, 0.2),
-            ])
-            .unwrap()],
+            vec![Cascade::new(vec![Infection::new(0u32, 0.0), Infection::new(1u32, 0.2)]).unwrap()],
         );
         let updated = update_embeddings(&base.embeddings, &new, &opts);
         for u in 2..120u32 {

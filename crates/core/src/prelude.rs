@@ -7,16 +7,18 @@ pub use crate::pipeline::{infer_embeddings, update_embeddings, InferOptions, Inf
 
 pub use viralcast_community::{Balance, Dendrogram, MergeHierarchy, Partition, Slpa, SlpaConfig};
 pub use viralcast_embed::{
-    infer, infer_sequential, infer_warm, Embeddings, HierarchicalConfig, InferenceReport,
-    PgdConfig,
+    infer, infer_sequential, infer_warm, Embeddings, HierarchicalConfig, InferenceReport, PgdConfig,
 };
 pub use viralcast_gdelt::{GdeltConfig, GdeltWorld, Mention, MentionTable, NewsSite, Region};
-pub use viralcast_graph::{BackboneGraph, CooccurrenceGraph, DiGraph, GraphBuilder, NodeId, SbmConfig};
+pub use viralcast_graph::{
+    BackboneGraph, CooccurrenceGraph, DiGraph, GraphBuilder, NodeId, SbmConfig,
+};
+pub use viralcast_obs::{MetricsRegistry, Recorder, RunReport, Span, StageTimings};
+pub use viralcast_predict::pipeline::{extract_dataset, Dataset};
 pub use viralcast_predict::{
     cross_validate, extract_features, threshold_sweep, CascadeFeatures, HawkesFitConfig,
     HawkesPredictor, LinearSvm, PredictionTask, StandardScaler, SvmConfig, SweepPoint,
 };
-pub use viralcast_predict::pipeline::{extract_dataset, Dataset};
 pub use viralcast_propagation::{
     planted_embeddings, Cascade, CascadeSet, EmbeddingRates, Exponential, HazardFunction,
     Infection, PlantedConfig, RateProvider, SimulationConfig, Simulator,

@@ -21,11 +21,22 @@ fn full_cli_round_trip() {
     let embeddings = temp("embeddings.json");
 
     let out = bin()
-        .args(["simulate-sbm", "--nodes", "150", "--cascades", "80", "--local"])
+        .args([
+            "simulate-sbm",
+            "--nodes",
+            "150",
+            "--cascades",
+            "80",
+            "--local",
+        ])
         .args(["--seed", "5", "--out", corpus.to_str().unwrap()])
         .output()
         .expect("simulate-sbm runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(corpus.exists());
 
     let out = bin()
@@ -33,16 +44,27 @@ fn full_cli_round_trip() {
         .args(["--topics", "4", "--out", embeddings.to_str().unwrap()])
         .output()
         .expect("infer runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("communities"), "unexpected output: {stdout}");
+    assert!(
+        stdout.contains("communities"),
+        "unexpected output: {stdout}"
+    );
 
     let out = bin()
         .args(["predict", "--corpus", corpus.to_str().unwrap()])
         .args(["--embeddings", embeddings.to_str().unwrap()])
         .output()
         .expect("predict runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("F1"), "missing F1 table: {stdout}");
 
@@ -68,7 +90,11 @@ fn gdelt_csv_export() {
         .args(["--seed", "2", "--out", mentions.to_str().unwrap()])
         .output()
         .expect("simulate-gdelt runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&mentions).unwrap();
     assert!(text.starts_with("site,event,hour"));
     assert!(text.lines().count() > 50);
@@ -92,18 +118,195 @@ fn missing_required_flag_is_reported() {
 }
 
 #[test]
+fn unknown_flag_exits_with_usage_code() {
+    let out = bin()
+        .args(["infer", "--corpus", "whatever.jsonl", "--frobnicate", "3"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--frobnicate"), "stderr: {stderr}");
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_flag_value_exits_with_usage_code() {
+    let out = bin()
+        .args(["simulate-sbm", "--out", "x.jsonl", "--nodes", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--nodes"), "stderr: {stderr}");
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_flag_value_exits_with_usage_code() {
+    // `--seed` followed by another flag has no value.
+    let out = bin()
+        .args(["simulate-sbm", "--seed", "--out", "x.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--seed"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_log_level_exits_with_usage_code() {
+    let out = bin()
+        .args([
+            "influencers",
+            "--embeddings",
+            "x.json",
+            "--log-level",
+            "loud",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--log-level"), "stderr: {stderr}");
+}
+
+#[test]
+fn infer_writes_run_report_and_trace() {
+    let corpus = temp("obs-corpus.jsonl");
+    let embeddings = temp("obs-emb.json");
+    let metrics = temp("obs-run.json");
+    let trace = temp("obs-trace.jsonl");
+
+    let out = bin()
+        .args([
+            "simulate-sbm",
+            "--nodes",
+            "120",
+            "--cascades",
+            "60",
+            "--local",
+        ])
+        .args(["--seed", "7", "--out", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["infer", "--corpus", corpus.to_str().unwrap()])
+        .args(["--topics", "4", "--out", embeddings.to_str().unwrap()])
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The run report is valid JSON with the nested stage-timing tree.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let report: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(report["schema"], "viralcast-run-report/v1");
+    assert_eq!(report["command"], "infer");
+    let timings = &report["timings"];
+    assert_eq!(timings["name"], "viralcast");
+    let top: Vec<&str> = timings["children"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c["name"].as_str().unwrap())
+        .collect();
+    assert!(top.contains(&"infer"), "top-level spans: {top:?}");
+    let infer = timings["children"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|c| c["name"] == "infer")
+        .unwrap();
+    let stages: Vec<&str> = infer["children"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c["name"].as_str().unwrap())
+        .collect();
+    for stage in ["cooccurrence", "slpa", "hierarchical"] {
+        assert!(stages.contains(&stage), "stages: {stages:?}");
+    }
+    let hierarchical = infer["children"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|c| c["name"] == "hierarchical")
+        .unwrap();
+    let level0 = &hierarchical["children"].as_array().unwrap()[0];
+    assert!(level0["name"].as_str().unwrap().starts_with("level."));
+    let phases: Vec<&str> = level0["children"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c["name"].as_str().unwrap())
+        .collect();
+    assert!(phases.contains(&"split"), "phases: {phases:?}");
+    assert!(phases.contains(&"optimize"), "phases: {phases:?}");
+
+    // Metric counters and the per-epoch objective trajectory made it in.
+    assert!(
+        report["metrics"]["counters"]["pgd.epochs"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    let levels = report["levels"].as_array().unwrap();
+    assert!(!levels.is_empty());
+    let trajectory = levels[0]["ll_trajectory"].as_array().unwrap();
+    assert!(!trajectory.is_empty(), "empty objective trajectory");
+
+    // Every trace line is a standalone JSON event.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.lines().count() > 0);
+    for line in trace_text.lines() {
+        let event: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(event["stage"].is_string(), "bad event: {line}");
+        assert!(event["level"].is_string(), "bad event: {line}");
+    }
+
+    for p in [corpus, embeddings, metrics, trace] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn predict_rejects_mismatched_universes() {
     let corpus = temp("mismatch-corpus.jsonl");
     let embeddings = temp("mismatch-emb.json");
     bin()
-        .args(["simulate-sbm", "--nodes", "150", "--cascades", "30", "--local"])
+        .args([
+            "simulate-sbm",
+            "--nodes",
+            "150",
+            "--cascades",
+            "30",
+            "--local",
+        ])
         .args(["--seed", "1", "--out", corpus.to_str().unwrap()])
         .output()
         .unwrap();
     // Embeddings over a smaller universe.
     let small = temp("small-corpus.jsonl");
     bin()
-        .args(["simulate-sbm", "--nodes", "50", "--cascades", "30", "--local"])
+        .args([
+            "simulate-sbm",
+            "--nodes",
+            "50",
+            "--cascades",
+            "30",
+            "--local",
+        ])
         .args(["--seed", "1", "--out", small.to_str().unwrap()])
         .output()
         .unwrap();

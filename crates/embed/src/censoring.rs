@@ -176,7 +176,9 @@ mod tests {
         let k = 2;
         let rows = 5;
         let a: Vec<f64> = (0..rows * k).map(|i| 0.1 + (i % 7) as f64 * 0.13).collect();
-        let b: Vec<f64> = (0..rows * k).map(|i| 0.05 + (i % 5) as f64 * 0.21).collect();
+        let b: Vec<f64> = (0..rows * k)
+            .map(|i| 0.05 + (i % 5) as f64 * 0.21)
+            .collect();
         let cascades = vec![
             IndexedCascade {
                 rows: vec![0, 2],
@@ -196,8 +198,7 @@ mod tests {
         let mut ga = vec![0.0; a.len()];
         let mut gb = vec![0.0; b.len()];
         let mut scratch = CensorScratch::new(k);
-        let fast =
-            accumulate_censoring(&cascades, &a, &b, k, 1.0, &mut ga, &mut gb, &mut scratch);
+        let fast = accumulate_censoring(&cascades, &a, &b, k, 1.0, &mut ga, &mut gb, &mut scratch);
         let slow = censoring_log_likelihood_naive(&cascades, &a, &b, k, 1.0);
         assert!((fast - slow).abs() < 1e-10, "{fast} vs {slow}");
         assert!(fast <= 0.0);
@@ -286,8 +287,7 @@ mod tests {
         let mut ga = vec![0.0; a.len()];
         let mut gb = vec![0.0; b.len()];
         let mut scratch = CensorScratch::new(k);
-        let ll =
-            accumulate_censoring(&cascades, &a, &b, k, 0.0, &mut ga, &mut gb, &mut scratch);
+        let ll = accumulate_censoring(&cascades, &a, &b, k, 0.0, &mut ga, &mut gb, &mut scratch);
         assert_eq!(ll, 0.0);
     }
 }

@@ -226,7 +226,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let e = Embeddings::random(10, 4, 0.2, 0.9, &mut rng);
         for u in 0..10u32 {
-            for &x in e.influence(NodeId(u)).iter().chain(e.selectivity(NodeId(u))) {
+            for &x in e
+                .influence(NodeId(u))
+                .iter()
+                .chain(e.selectivity(NodeId(u)))
+            {
                 assert!((0.2..0.9).contains(&x));
             }
         }
@@ -234,12 +238,7 @@ mod tests {
 
     #[test]
     fn rate_is_inner_product() {
-        let e = Embeddings::from_matrices(
-            2,
-            2,
-            vec![1.0, 2.0, 0.5, 0.0],
-            vec![0.0, 1.0, 3.0, 4.0],
-        );
+        let e = Embeddings::from_matrices(2, 2, vec![1.0, 2.0, 0.5, 0.0], vec![0.0, 1.0, 3.0, 4.0]);
         // ⟨A_0, B_1⟩ = 1*3 + 2*4 = 11
         assert_eq!(e.rate(NodeId(0), NodeId(1)), 11.0);
     }

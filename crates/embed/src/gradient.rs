@@ -61,7 +61,14 @@ pub fn accumulate_gradients(
     debug_assert_eq!(a.len(), grad_a.len());
     debug_assert_eq!(b.len(), grad_b.len());
     let s = c.len();
-    let GradScratch { h, g, p, q, r, denom } = scratch;
+    let GradScratch {
+        h,
+        g,
+        p,
+        q,
+        r,
+        denom,
+    } = scratch;
     h.fill(0.0);
     g.fill(0.0);
     p.fill(0.0);
@@ -120,12 +127,7 @@ pub fn accumulate_gradients(
 
 /// Reference `O(s²·K)` gradient for validation: differentiates the naive
 /// likelihood term by term.
-pub fn gradients_naive(
-    c: &IndexedCascade,
-    a: &[f64],
-    b: &[f64],
-    k: usize,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn gradients_naive(c: &IndexedCascade, a: &[f64], b: &[f64], k: usize) -> (Vec<f64>, Vec<f64>) {
     let s = c.len();
     let mut ga = vec![0.0; a.len()];
     let mut gb = vec![0.0; b.len()];
@@ -159,7 +161,11 @@ mod tests {
     use super::*;
     use crate::likelihood::cascade_log_likelihood;
 
-    fn deterministic_instance(n: usize, k: usize, s: usize) -> (Vec<f64>, Vec<f64>, IndexedCascade) {
+    fn deterministic_instance(
+        n: usize,
+        k: usize,
+        s: usize,
+    ) -> (Vec<f64>, Vec<f64>, IndexedCascade) {
         let a: Vec<f64> = (0..n * k)
             .map(|i| ((i * 7 + 3) % 11) as f64 / 10.0 + 0.1)
             .collect();

@@ -19,8 +19,8 @@ use crate::subcascade::{split_cascades, IndexedCascade};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 use viralcast_community::{Balance, MergeHierarchy, Partition};
+use viralcast_obs::{self as obs, StageTimings};
 use viralcast_propagation::CascadeSet;
 
 /// Configuration of the hierarchical inference.
@@ -61,7 +61,9 @@ impl Default for HierarchicalConfig {
     }
 }
 
-/// Summary of one executed level.
+/// Summary of one executed level. Wall-clock timings live in
+/// [`InferenceReport::timings`] (see [`InferenceReport::optimize_seconds`]
+/// / [`InferenceReport::split_seconds`]), not here.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LevelSummary {
     /// Level index in the merge tree (0 = SLPA leaves).
@@ -74,11 +76,9 @@ pub struct LevelSummary {
     pub epochs: usize,
     /// Sum of group log-likelihoods after the level.
     pub final_ll: f64,
-    /// Wall-clock seconds spent in the level (gradient work only; the
-    /// sub-cascade split is reported separately via `split_seconds`).
-    pub optimize_seconds: f64,
-    /// Wall-clock seconds spent splitting cascades for the level.
-    pub split_seconds: f64,
+    /// Per-group optimiser reports, in group order — each carries the
+    /// per-epoch objective trajectory (`ll_history`).
+    pub group_reports: Vec<PgdReport>,
 }
 
 /// Full inference trace.
@@ -86,20 +86,37 @@ pub struct LevelSummary {
 pub struct InferenceReport {
     /// Per-level summaries, bottom to top.
     pub levels: Vec<LevelSummary>,
+    /// Aggregated wall-clock span timings, rooted at `"hierarchical"`
+    /// with one `level.{i}` child per executed level, each holding
+    /// `split` and `optimize` children. Not serialised (observability
+    /// data travels via the run report, not the model trace); a
+    /// deserialised report has an empty tree.
+    #[serde(skip, default)]
+    pub timings: StageTimings,
 }
 
 impl InferenceReport {
     /// Total wall-clock seconds across levels.
     pub fn total_seconds(&self) -> f64 {
-        self.levels
-            .iter()
-            .map(|l| l.optimize_seconds + l.split_seconds)
-            .sum()
+        self.timings.child_seconds()
     }
 
     /// Final log-likelihood of the last executed level.
     pub fn final_ll(&self) -> f64 {
         self.levels.last().map_or(0.0, |l| l.final_ll)
+    }
+
+    /// Seconds spent in gradient work at one level (`0.0` when the
+    /// timing tree is absent, e.g. after deserialisation).
+    pub fn optimize_seconds(&self, level: usize) -> f64 {
+        let name = format!("level.{level}");
+        self.timings.seconds_of(&[&name, "optimize"])
+    }
+
+    /// Seconds spent splitting cascades for one level.
+    pub fn split_seconds(&self, level: usize) -> f64 {
+        let name = format!("level.{level}");
+        self.timings.seconds_of(&[&name, "split"])
     }
 }
 
@@ -147,35 +164,67 @@ pub fn infer_warm(
     );
     let hierarchy = MergeHierarchy::build(partition.clone(), config.balance);
     if hierarchy.level_count() == 0 {
-        return (init.clone(), InferenceReport { levels: Vec::new() });
+        return (
+            init.clone(),
+            InferenceReport {
+                levels: Vec::new(),
+                timings: StageTimings::new("hierarchical"),
+            },
+        );
     }
     // Work in layout order so that every level's groups are contiguous
     // row blocks.
     let mut emb = init.reorder(hierarchy.node_layout());
 
+    // A private recorder: callers (the pipeline, the CLI) graft the
+    // returned tree into their own via `StageTimings::push_child`.
+    let recorder = obs::Recorder::new("hierarchical");
     let mut levels = Vec::new();
-    for level in hierarchy.levels_until(config.stop_groups) {
-        let split_start = Instant::now();
-        let groups = split_cascades(cascades, &hierarchy, level);
-        let split_seconds = split_start.elapsed().as_secs_f64();
+    {
+        let _recording = recorder.install();
+        for level in hierarchy.levels_until(config.stop_groups) {
+            let _level_span = obs::Span::enter(format!("level.{level}"));
+            // `split_cascades` opens the nested "split" span itself.
+            let groups = split_cascades(cascades, &hierarchy, level);
 
-        let ranges = hierarchy.node_ranges(level);
-        let opt_start = Instant::now();
-        let report: LevelReport = run_level(&mut emb, &ranges, &groups, &config.pgd);
-        let optimize_seconds = opt_start.elapsed().as_secs_f64();
+            let ranges = hierarchy.node_ranges(level);
+            let report: LevelReport = {
+                let _opt_span = obs::Span::enter("optimize");
+                run_level(&mut emb, &ranges, &groups, &config.pgd)
+            };
 
-        levels.push(LevelSummary {
-            level,
-            groups: ranges.len(),
-            subcascades: groups.iter().map(Vec::len).sum(),
-            epochs: report.total_epochs(),
-            final_ll: report.total_ll(),
-            optimize_seconds,
-            split_seconds,
-        });
+            obs::metrics().counter("hierarchical.levels").incr(1);
+            obs::metrics()
+                .histogram("hierarchical.level_groups", &[1.0, 4.0, 16.0, 64.0, 256.0])
+                .record(ranges.len() as f64);
+            obs::info(
+                "hierarchical",
+                "level finished",
+                &[
+                    ("level", level.into()),
+                    ("groups", ranges.len().into()),
+                    ("epochs", report.total_epochs().into()),
+                    ("ll", report.total_ll().into()),
+                ],
+            );
+            levels.push(LevelSummary {
+                level,
+                groups: ranges.len(),
+                subcascades: groups.iter().map(Vec::len).sum(),
+                epochs: report.total_epochs(),
+                final_ll: report.total_ll(),
+                group_reports: report.groups,
+            });
+        }
     }
 
-    (emb.restore(hierarchy.node_layout()), InferenceReport { levels })
+    (
+        emb.restore(hierarchy.node_layout()),
+        InferenceReport {
+            levels,
+            timings: recorder.finish(),
+        },
+    )
 }
 
 /// The sequential baseline (`t_1` of the speedup measurements): one

@@ -128,8 +128,7 @@ pub fn optimize_hogwild(
     let final_a = shared_a.snapshot();
     let final_b = shared_b.snapshot();
     let final_ll = corpus_log_likelihood(cascades, &final_a, &final_b, k);
-    *embeddings =
-        Embeddings::from_matrices(embeddings.node_count(), k, final_a, final_b);
+    *embeddings = Embeddings::from_matrices(embeddings.node_count(), k, final_a, final_b);
     HogwildReport {
         epochs: config.max_epochs,
         initial_ll,

@@ -45,6 +45,8 @@ pub mod pgd;
 pub mod subcascade;
 
 pub use embedding::Embeddings;
-pub use hierarchical::{infer, infer_sequential, infer_warm, HierarchicalConfig, InferenceReport};
+pub use hierarchical::{
+    infer, infer_sequential, infer_warm, HierarchicalConfig, InferenceReport, LevelSummary,
+};
 pub use pgd::{PgdConfig, PgdReport};
 pub use subcascade::IndexedCascade;

@@ -52,9 +52,7 @@ pub fn cascade_log_likelihood(c: &IndexedCascade, a: &[f64], b: &[f64], k: usize
 /// Total log-likelihood over a corpus of (sub-)cascades — the objective
 /// of eq. 9.
 pub fn corpus_log_likelihood(cs: &[IndexedCascade], a: &[f64], b: &[f64], k: usize) -> f64 {
-    cs.iter()
-        .map(|c| cascade_log_likelihood(c, a, b, k))
-        .sum()
+    cs.iter().map(|c| cascade_log_likelihood(c, a, b, k)).sum()
 }
 
 /// Reference `O(s²·K)` implementation of eq. 8, used to validate the
@@ -116,8 +114,12 @@ mod tests {
         // Deterministic pseudo-random matrices.
         let k = 3;
         let n = 6;
-        let a: Vec<f64> = (0..n * k).map(|i| ((i * 7 + 3) % 11) as f64 / 10.0 + 0.05).collect();
-        let b: Vec<f64> = (0..n * k).map(|i| ((i * 5 + 1) % 13) as f64 / 12.0 + 0.05).collect();
+        let a: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 7 + 3) % 11) as f64 / 10.0 + 0.05)
+            .collect();
+        let b: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 5 + 1) % 13) as f64 / 12.0 + 0.05)
+            .collect();
         let c = IndexedCascade {
             rows: vec![2, 0, 5, 1, 4],
             times: vec![0.0, 0.7, 1.1, 2.4, 3.0],
@@ -150,9 +152,8 @@ mod tests {
         // For a two-node cascade with delay dt, LL(λ) = −λ·dt + ln λ is
         // maximised at λ = 1/dt.
         let dt = 0.25;
-        let eval = |rate: f64| {
-            cascade_log_likelihood(&two_node_cascade(dt), &[rate, 0.0], &[0.0, 1.0], 1)
-        };
+        let eval =
+            |rate: f64| cascade_log_likelihood(&two_node_cascade(dt), &[rate, 0.0], &[0.0, 1.0], 1);
         let at_mle = eval(1.0 / dt);
         assert!(at_mle > eval(1.0 / dt * 1.3));
         assert!(at_mle > eval(1.0 / dt * 0.7));
@@ -165,8 +166,7 @@ mod tests {
         let c1 = two_node_cascade(0.5);
         let c2 = two_node_cascade(1.5);
         let total = corpus_log_likelihood(&[c1.clone(), c2.clone()], &a, &b, 1);
-        let sum = cascade_log_likelihood(&c1, &a, &b, 1)
-            + cascade_log_likelihood(&c2, &a, &b, 1);
+        let sum = cascade_log_likelihood(&c1, &a, &b, 1) + cascade_log_likelihood(&c2, &a, &b, 1);
         assert!((total - sum).abs() < 1e-12);
     }
 }

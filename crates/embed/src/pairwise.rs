@@ -106,8 +106,8 @@ impl PairwiseModel {
                 }
                 continue;
             }
-            let converged = prev_ll.is_finite()
-                && ll - prev_ll < config.tolerance * (1.0 + ll.abs());
+            let converged =
+                prev_ll.is_finite() && ll - prev_ll < config.tolerance * (1.0 + ll.abs());
             prev_ll = ll;
             backup.copy_from_slice(&rates);
             if converged {
@@ -250,7 +250,10 @@ mod tests {
             times: vec![0.0, 0.5],
         }];
         let ll = model.log_likelihood(&unseen);
-        assert!(ll < -20.0, "unseen pair should be heavily penalised, got {ll}");
+        assert!(
+            ll < -20.0,
+            "unseen pair should be heavily penalised, got {ll}"
+        );
     }
 
     #[test]

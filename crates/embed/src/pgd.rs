@@ -12,6 +12,11 @@
 use crate::gradient::{accumulate_gradients, GradScratch};
 use crate::subcascade::IndexedCascade;
 use serde::{Deserialize, Serialize};
+use viralcast_obs as obs;
+
+/// Bucket bounds for the per-epoch gradient-norm histogram
+/// (`pgd.grad_norm`), decades from 1e-3 to 1e3.
+const GRAD_NORM_BOUNDS: [f64; 7] = [1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3];
 
 /// Optimiser parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -129,11 +134,7 @@ pub fn optimize(
     let mut initial_ll = None;
     let mut epochs = 0;
 
-    let take_step = |a: &mut [f64],
-                     b: &mut [f64],
-                     ga: &[f64],
-                     gb: &[f64],
-                     step: f64| {
+    let take_step = |a: &mut [f64], b: &mut [f64], ga: &[f64], gb: &[f64], step: f64| {
         let shrink = step * config.l1_penalty;
         for (x, g) in a.iter_mut().zip(ga) {
             *x = (*x + step * g - shrink).clamp(0.0, config.max_value);
@@ -156,18 +157,35 @@ pub fn optimize(
         .censoring_window
         .map(|_| crate::censoring::CensorScratch::new(k));
 
+    // Handles acquired once; the per-epoch updates below are plain
+    // atomics, safe from inside rayon workers (run_level calls this
+    // concurrently for every group of a level).
+    let metrics = obs::metrics();
+    let epoch_counter = metrics.counter("pgd.epochs");
+    let accepted_counter = metrics.counter("pgd.accepted_steps");
+    let rollback_counter = metrics.counter("pgd.rollbacks");
+    let objective_gauge = metrics.gauge("pgd.objective");
+    let grad_norm_hist = metrics.histogram("pgd.grad_norm", &GRAD_NORM_BOUNDS);
+
     while epochs < config.max_epochs {
         epochs += 1;
+        epoch_counter.incr(1);
         grad_a.fill(0.0);
         grad_b.fill(0.0);
         let mut data_ll = 0.0;
         for c in cascades {
-            data_ll +=
-                accumulate_gradients(c, a, b, k, &mut grad_a, &mut grad_b, &mut scratch);
+            data_ll += accumulate_gradients(c, a, b, k, &mut grad_a, &mut grad_b, &mut scratch);
         }
         if let (Some(window), Some(cs)) = (config.censoring_window, censor_scratch.as_mut()) {
             data_ll += crate::censoring::accumulate_censoring(
-                cascades, a, b, k, window, &mut grad_a, &mut grad_b, cs,
+                cascades,
+                a,
+                b,
+                k,
+                window,
+                &mut grad_a,
+                &mut grad_b,
+                cs,
             );
         }
         let ll = data_ll - penalty(a, b);
@@ -177,6 +195,7 @@ pub fn optimize(
             // The last step overshot: return to the accepted point and
             // immediately retry from there with a halved rate, reusing
             // its stored gradient.
+            rollback_counter.incr(1);
             rate *= 0.5;
             if rate < min_rate {
                 break;
@@ -188,9 +207,17 @@ pub fn optimize(
         }
 
         history.push(ll);
+        accepted_counter.incr(1);
+        objective_gauge.set(ll);
+        let grad_norm = grad_a
+            .iter()
+            .chain(grad_b.iter())
+            .map(|g| g * g)
+            .sum::<f64>()
+            .sqrt();
+        grad_norm_hist.record(grad_norm);
         let improved = ll - prev_ll;
-        let converged =
-            prev_ll.is_finite() && improved < config.tolerance * (1.0 + ll.abs());
+        let converged = prev_ll.is_finite() && improved < config.tolerance * (1.0 + ll.abs());
         prev_ll = ll;
         best_data_ll = data_ll;
         backup_a.copy_from_slice(a);
@@ -212,7 +239,11 @@ pub fn optimize(
     PgdReport {
         epochs,
         initial_ll: initial_ll.unwrap_or(0.0),
-        final_ll: if prev_ll.is_finite() { best_data_ll } else { 0.0 },
+        final_ll: if prev_ll.is_finite() {
+            best_data_ll
+        } else {
+            0.0
+        },
         ll_history: history,
     }
 }

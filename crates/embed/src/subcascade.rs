@@ -9,7 +9,12 @@
 
 use std::ops::Range;
 use viralcast_community::MergeHierarchy;
+use viralcast_obs as obs;
 use viralcast_propagation::{Cascade, CascadeSet};
+
+/// Bucket bounds for the per-cascade split fan-out histogram
+/// (`split.fanout` — how many sub-cascades one cascade produced).
+const FANOUT_BOUNDS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
 /// A cascade over local matrix rows: `rows[i]` was infected at
 /// `times[i]`, times non-decreasing.
@@ -63,6 +68,8 @@ pub fn split_cascades_by_ranges(
     hierarchy: &MergeHierarchy,
     ranges: &[Range<usize>],
 ) -> Vec<Vec<IndexedCascade>> {
+    let _span = obs::Span::enter("split");
+    let fanout_hist = obs::metrics().histogram("split.fanout", &FANOUT_BOUNDS);
     let starts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
     let mut out: Vec<Vec<IndexedCascade>> = vec![Vec::new(); ranges.len()];
     // Scratch buffers reused across cascades.
@@ -85,14 +92,20 @@ pub fn split_cascades_by_ranges(
             buckets[g].rows.push((pos - ranges[g].start) as u32);
             buckets[g].times.push(inf.time);
         }
+        let mut fanout = 0u64;
         for (g, bucket) in buckets.iter_mut().enumerate() {
             if bucket.len() >= 2 {
                 out[g].push(bucket.clone());
+                fanout += 1;
             }
             bucket.rows.clear();
             bucket.times.clear();
         }
+        fanout_hist.record(fanout as f64);
     }
+    obs::metrics()
+        .counter("split.subcascades")
+        .incr(out.iter().map(|g| g.len() as u64).sum());
     out
 }
 
@@ -125,10 +138,7 @@ mod tests {
     #[test]
     fn split_respects_memberships() {
         let h = hierarchy();
-        let set = CascadeSet::new(
-            6,
-            vec![cascade(&[(0, 0.0), (3, 1.0), (1, 2.0), (4, 3.0)])],
-        );
+        let set = CascadeSet::new(6, vec![cascade(&[(0, 0.0), (3, 1.0), (1, 2.0), (4, 3.0)])]);
         let groups = split_cascades(&set, &h, 0);
         assert_eq!(groups.len(), 2);
         // Community 0 sub-cascade: nodes 0, 1 at times 0, 2.
@@ -147,7 +157,11 @@ mod tests {
         // Positions of 3 and 5 within the second block are local (0-based).
         assert!(groups[0].is_empty());
         let sc = &groups[1][0];
-        assert!(sc.rows.iter().all(|&r| r < 3), "rows {:?} not local", sc.rows);
+        assert!(
+            sc.rows.iter().all(|&r| r < 3),
+            "rows {:?} not local",
+            sc.rows
+        );
     }
 
     #[test]

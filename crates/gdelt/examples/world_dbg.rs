@@ -5,10 +5,19 @@ use viralcast_propagation::stats::{locality_fraction, size_summary};
 use viralcast_propagation::PlantedConfig;
 
 fn main() {
-    for (on, off) in [(0.5, 0.000005), (0.5, 0.000003), (0.5, 0.000002), (0.5, 0.000008)] {
+    for (on, off) in [
+        (0.5, 0.000005),
+        (0.5, 0.000003),
+        (0.5, 0.000002),
+        (0.5, 0.000008),
+    ] {
         let cfg = GdeltConfig {
             sites: 800,
-            planted: PlantedConfig { on_topic: on, off_topic: off, jitter: 0.3 },
+            planted: PlantedConfig {
+                on_topic: on,
+                off_topic: off,
+                jitter: 0.3,
+            },
             ..GdeltConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(8);
@@ -17,10 +26,20 @@ fn main() {
         let set = table.to_cascade_set();
         let reports = table.reports_per_site();
         let mut order: Vec<usize> = (0..800).collect();
-        order.sort_by(|&a, &b| w.sites()[b].popularity.partial_cmp(&w.sites()[a].popularity).unwrap());
+        order.sort_by(|&a, &b| {
+            w.sites()[b]
+                .popularity
+                .partial_cmp(&w.sites()[a].popularity)
+                .unwrap()
+        });
         let top: f64 = order[..80].iter().map(|&u| reports[u] as f64).sum::<f64>() / 80.0;
         let rest: f64 = order[80..].iter().map(|&u| reports[u] as f64).sum::<f64>() / 720.0;
-        let early_frac: f64 = set.cascades().iter().map(|c| c.prefix_until(5.0).len() as f64 / c.len() as f64).sum::<f64>() / set.len() as f64;
+        let early_frac: f64 = set
+            .cascades()
+            .iter()
+            .map(|c| c.prefix_until(5.0).len() as f64 / c.len() as f64)
+            .sum::<f64>()
+            / set.len() as f64;
         let s = size_summary(&set);
         println!("on={on} off={off}: mean={:.0} p90={:.0} max={:.0} early5h_frac={:.2} loc={:.2} matthew={:.2}",
             s.mean, s.p90, s.max, early_frac, locality_fraction(&set, &w.region_labels()), top/rest);

@@ -140,8 +140,7 @@ impl GdeltWorld {
             assigned += region_sizes[i];
         }
         let popularity = PowerLaw::new(config.popularity_exponent, config.popularity_cutoff);
-        let community_factor =
-            PowerLaw::new(config.community_popularity_exponent, 1.0);
+        let community_factor = PowerLaw::new(config.community_popularity_exponent, 1.0);
         let mut sites = Vec::with_capacity(config.sites);
         let mut membership = Vec::with_capacity(config.sites);
         let mut community = 0usize;
@@ -216,8 +215,7 @@ impl GdeltWorld {
                 .collect()
         };
         let region_cdfs: Vec<Vec<f64>> = region_members.iter().map(|m| cdf_of(m)).collect();
-        let community_cdfs: Vec<Vec<f64>> =
-            community_members.iter().map(|m| cdf_of(m)).collect();
+        let community_cdfs: Vec<Vec<f64>> = community_members.iter().map(|m| cdf_of(m)).collect();
         let global_cdf: Vec<f64> = {
             let mut acc = 0.0;
             sites
@@ -451,8 +449,7 @@ mod tests {
                 .unwrap()
         });
         let top: f64 = order[..60].iter().map(|&u| reports[u] as f64).sum::<f64>() / 60.0;
-        let rest: f64 =
-            order[60..].iter().map(|&u| reports[u] as f64).sum::<f64>() / 540.0;
+        let rest: f64 = order[60..].iter().map(|&u| reports[u] as f64).sum::<f64>() / 540.0;
         // Simulated corpora are thousands of events, not GDELT's
         // millions, so the count gap is compressed relative to the
         // latent popularity power law; a clear positive margin is the

@@ -50,11 +50,7 @@ pub fn site_sets_of(table: &MentionTable, events: &[u32]) -> Vec<Vec<NodeId>> {
 
 /// Builds the Figure 2 backbone: sites co-reporting at least
 /// `threshold` of the given events are linked.
-pub fn coreport_backbone(
-    table: &MentionTable,
-    events: &[u32],
-    threshold: usize,
-) -> BackboneGraph {
+pub fn coreport_backbone(table: &MentionTable, events: &[u32], threshold: usize) -> BackboneGraph {
     let sets = site_sets_of(table, events);
     BackboneGraph::build(table.site_count(), &sets, threshold)
 }
@@ -84,13 +80,41 @@ mod tests {
             3,
             4,
             vec![
-                Mention { site: NodeId(0), event: 0, hour: 0.0 },
-                Mention { site: NodeId(1), event: 0, hour: 1.0 },
-                Mention { site: NodeId(0), event: 1, hour: 0.0 },
-                Mention { site: NodeId(1), event: 1, hour: 2.0 },
-                Mention { site: NodeId(0), event: 2, hour: 0.0 },
-                Mention { site: NodeId(2), event: 2, hour: 1.0 },
-                Mention { site: NodeId(0), event: 3, hour: 0.0 },
+                Mention {
+                    site: NodeId(0),
+                    event: 0,
+                    hour: 0.0,
+                },
+                Mention {
+                    site: NodeId(1),
+                    event: 0,
+                    hour: 1.0,
+                },
+                Mention {
+                    site: NodeId(0),
+                    event: 1,
+                    hour: 0.0,
+                },
+                Mention {
+                    site: NodeId(1),
+                    event: 1,
+                    hour: 2.0,
+                },
+                Mention {
+                    site: NodeId(0),
+                    event: 2,
+                    hour: 0.0,
+                },
+                Mention {
+                    site: NodeId(2),
+                    event: 2,
+                    hour: 1.0,
+                },
+                Mention {
+                    site: NodeId(0),
+                    event: 3,
+                    hour: 0.0,
+                },
             ],
         )
     }

@@ -184,7 +184,11 @@ impl MentionTable {
                 hour,
             });
         }
-        let site_count = mentions.iter().map(|m| m.site.index() + 1).max().unwrap_or(0);
+        let site_count = mentions
+            .iter()
+            .map(|m| m.site.index() + 1)
+            .max()
+            .unwrap_or(0);
         let event_count = mentions
             .iter()
             .map(|m| m.event as usize + 1)
@@ -203,11 +207,31 @@ mod tests {
             4,
             3,
             vec![
-                Mention { site: NodeId(1), event: 0, hour: 2.0 },
-                Mention { site: NodeId(0), event: 0, hour: 0.0 },
-                Mention { site: NodeId(2), event: 1, hour: 0.0 },
-                Mention { site: NodeId(0), event: 1, hour: 5.5 },
-                Mention { site: NodeId(3), event: 1, hour: 1.0 },
+                Mention {
+                    site: NodeId(1),
+                    event: 0,
+                    hour: 2.0,
+                },
+                Mention {
+                    site: NodeId(0),
+                    event: 0,
+                    hour: 0.0,
+                },
+                Mention {
+                    site: NodeId(2),
+                    event: 1,
+                    hour: 0.0,
+                },
+                Mention {
+                    site: NodeId(0),
+                    event: 1,
+                    hour: 5.5,
+                },
+                Mention {
+                    site: NodeId(3),
+                    event: 1,
+                    hour: 1.0,
+                },
             ],
         )
     }
@@ -253,9 +277,21 @@ mod tests {
             2,
             1,
             vec![
-                Mention { site: NodeId(0), event: 0, hour: 0.0 },
-                Mention { site: NodeId(1), event: 0, hour: 1.0 },
-                Mention { site: NodeId(1), event: 0, hour: 3.0 }, // repeat
+                Mention {
+                    site: NodeId(0),
+                    event: 0,
+                    hour: 0.0,
+                },
+                Mention {
+                    site: NodeId(1),
+                    event: 0,
+                    hour: 1.0,
+                },
+                Mention {
+                    site: NodeId(1),
+                    event: 0,
+                    hour: 3.0,
+                }, // repeat
             ],
         );
         let set = t.to_cascade_set();
@@ -312,7 +348,11 @@ mod tests {
         MentionTable::new(
             1,
             1,
-            vec![Mention { site: NodeId(5), event: 0, hour: 0.0 }],
+            vec![Mention {
+                site: NodeId(5),
+                event: 0,
+                hour: 0.0,
+            }],
         );
     }
 }

@@ -17,6 +17,7 @@
 use crate::digraph::{DiGraph, GraphBuilder};
 use crate::node::NodeId;
 use std::collections::HashMap;
+use viralcast_obs as obs;
 
 /// The co-occurrence graph plus the per-node cascade counts that produced
 /// it.
@@ -67,6 +68,7 @@ impl CooccurrenceGraph {
     /// assert_eq!(g.graph().edge_weight(NodeId(1), NodeId(0)), None);
     /// ```
     pub fn build(n: usize, sequences: &[Vec<NodeId>], options: CooccurrenceOptions) -> Self {
+        let _span = obs::Span::enter("cooccurrence");
         let mut cascade_counts = vec![0usize; n];
         let mut pair_counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
 
@@ -96,8 +98,24 @@ impl CooccurrenceGraph {
                 b.add_edge(u, v, w);
             }
         }
+        let graph = b.build();
+        obs::metrics()
+            .counter("cooccurrence.sequences")
+            .incr(sequences.len() as u64);
+        obs::metrics()
+            .gauge("cooccurrence.edges")
+            .set(graph.edge_count() as f64);
+        obs::debug(
+            "cooccurrence",
+            "graph built",
+            &[
+                ("nodes", n.into()),
+                ("sequences", sequences.len().into()),
+                ("edges", graph.edge_count().into()),
+            ],
+        );
         CooccurrenceGraph {
-            graph: b.build(),
+            graph,
             cascade_counts,
         }
     }

@@ -156,7 +156,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph over `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocates room for `m` edges.

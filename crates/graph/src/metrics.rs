@@ -37,11 +37,7 @@ pub fn degree_stats(g: &DiGraph) -> DegreeStats {
     let min = *degs.iter().min().unwrap();
     let max = *degs.iter().max().unwrap();
     let mean = degs.iter().sum::<usize>() as f64 / n as f64;
-    let variance = degs
-        .iter()
-        .map(|&d| (d as f64 - mean).powi(2))
-        .sum::<f64>()
-        / n as f64;
+    let variance = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     DegreeStats {
         min,
         max,

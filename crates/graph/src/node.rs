@@ -25,7 +25,10 @@ impl NodeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
-        debug_assert!(index <= u32::MAX as usize, "node index {index} overflows u32");
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "node index {index} overflows u32"
+        );
         NodeId(index as u32)
     }
 

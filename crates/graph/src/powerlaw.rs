@@ -27,7 +27,10 @@ impl PowerLaw {
     /// # Panics
     /// Panics if `exponent <= 1` (non-normalisable) or `x_min <= 0`.
     pub fn new(exponent: f64, x_min: f64) -> Self {
-        assert!(exponent > 1.0, "power-law exponent must exceed 1, got {exponent}");
+        assert!(
+            exponent > 1.0,
+            "power-law exponent must exceed 1, got {exponent}"
+        );
         assert!(x_min > 0.0, "x_min must be positive, got {x_min}");
         PowerLaw { exponent, x_min }
     }

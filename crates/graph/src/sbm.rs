@@ -102,14 +102,7 @@ pub fn generate<R: Rng>(config: &SbmConfig, rng: &mut R) -> DiGraph {
 
 /// Adds undirected edges from `i` to a uniform-probability index range
 /// `[lo, hi)` using geometric jumps.
-fn sample_range<R: Rng>(
-    b: &mut GraphBuilder,
-    rng: &mut R,
-    i: usize,
-    lo: usize,
-    hi: usize,
-    p: f64,
-) {
+fn sample_range<R: Rng>(b: &mut GraphBuilder, rng: &mut R, i: usize, lo: usize, hi: usize, p: f64) {
     if p <= 0.0 || lo >= hi {
         return;
     }

@@ -1,0 +1,305 @@
+//! Leveled structured events and pluggable sinks.
+//!
+//! An [`Event`] is a level + stage + message + structured fields. The
+//! process-global [`Logger`] fans events out to whatever [`Sink`]s are
+//! attached: a human-readable stderr sink, a JSONL file sink, or
+//! anything test code supplies. The level check is a single relaxed
+//! atomic load, so disabled `debug!`-style call sites cost nothing in
+//! the hot loops.
+
+use crate::json::JsonValue;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error = 1,
+    /// Suspicious but survivable conditions.
+    Warn = 2,
+    /// Stage progress (the default).
+    Info = 3,
+    /// Per-iteration detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, as accepted by [`Level::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name. `"off"` yields `None` (log nothing);
+    /// unknown names are an error.
+    pub fn parse(s: &str) -> Result<Option<Level>, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(None),
+            "error" => Ok(Some(Level::Error)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            other => Err(format!(
+                "unknown log level '{other}' (expected off|error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+/// One structured event, borrowed from the emitting call site.
+pub struct Event<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Pipeline stage name (matches the span names, e.g. `"slpa"`).
+    pub stage: &'a str,
+    /// Human-readable message.
+    pub message: &'a str,
+    /// Structured key/value payload.
+    pub fields: &'a [(&'a str, JsonValue)],
+    /// Seconds since the logger was created.
+    pub elapsed_secs: f64,
+}
+
+/// An event destination.
+pub trait Sink: Send + Sync {
+    /// Handles one event already filtered by the logger threshold.
+    fn emit(&self, event: &Event<'_>);
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Human-readable sink writing to stderr:
+/// `[  12.345s INFO  slpa] converged iterations=14`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = format!(
+            "[{:>9.3}s {:<5} {}] {}",
+            event.elapsed_secs,
+            event.level.as_str().to_ascii_uppercase(),
+            event.stage,
+            event.message
+        );
+        for (k, v) in event.fields {
+            line.push_str(&format!(" {k}={}", v.render()));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// JSONL sink: one compact JSON object per line, machine-parseable.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut pairs: Vec<(String, JsonValue)> = vec![
+            ("t".into(), event.elapsed_secs.into()),
+            ("level".into(), event.level.as_str().into()),
+            ("stage".into(), event.stage.into()),
+            ("message".into(), event.message.into()),
+        ];
+        if !event.fields.is_empty() {
+            pairs.push((
+                "fields".into(),
+                JsonValue::Obj(
+                    event
+                        .fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        let line = JsonValue::Obj(pairs).render();
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+/// Fan-out logger with an atomic level threshold.
+pub struct Logger {
+    sinks: RwLock<Vec<Box<dyn Sink>>>,
+    /// 0 = off; otherwise the numeric value of the max enabled [`Level`].
+    threshold: AtomicU8,
+    start: Instant,
+}
+
+impl Logger {
+    fn new() -> Logger {
+        Logger {
+            sinks: RwLock::new(Vec::new()),
+            threshold: AtomicU8::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Whether an event at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 <= self.threshold.load(Ordering::Relaxed)
+    }
+
+    /// Sets the threshold; `None` disables all output.
+    pub fn set_level(&self, level: Option<Level>) {
+        self.threshold
+            .store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    }
+
+    /// Attaches a sink. Sinks receive only events at or below the
+    /// current threshold.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.sinks
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(sink);
+    }
+
+    /// Emits one event to every sink (after the threshold check).
+    pub fn emit(&self, level: Level, stage: &str, message: &str, fields: &[(&str, JsonValue)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let event = Event {
+            level,
+            stage,
+            message,
+            fields,
+            elapsed_secs: self.start.elapsed().as_secs_f64(),
+        };
+        for sink in self.sinks.read().unwrap_or_else(|e| e.into_inner()).iter() {
+            sink.emit(&event);
+        }
+    }
+
+    /// Flushes every sink (call before process exit).
+    pub fn flush(&self) {
+        for sink in self.sinks.read().unwrap_or_else(|e| e.into_inner()).iter() {
+            sink.flush();
+        }
+    }
+}
+
+/// The process-global logger. Starts with no sinks and level off, so
+/// library code can emit unconditionally and pay only an atomic load
+/// until the CLI (or a test) configures it.
+pub fn logger() -> &'static Logger {
+    static GLOBAL: OnceLock<Logger> = OnceLock::new();
+    GLOBAL.get_or_init(Logger::new)
+}
+
+/// Emits at [`Level::Info`] on the global logger.
+pub fn info(stage: &str, message: &str, fields: &[(&str, JsonValue)]) {
+    logger().emit(Level::Info, stage, message, fields);
+}
+
+/// Emits at [`Level::Debug`] on the global logger.
+pub fn debug(stage: &str, message: &str, fields: &[(&str, JsonValue)]) {
+    logger().emit(Level::Debug, stage, message, fields);
+}
+
+/// Emits at [`Level::Warn`] on the global logger.
+pub fn warn(stage: &str, message: &str, fields: &[(&str, JsonValue)]) {
+    logger().emit(Level::Warn, stage, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    struct CountingSink(Arc<AtomicUsize>);
+
+    impl Sink for CountingSink {
+        fn emit(&self, _event: &Event<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(level.as_str()).unwrap(), Some(level));
+        }
+        assert_eq!(Level::parse("OFF").unwrap(), None);
+        assert!(Level::parse("loud").is_err());
+    }
+
+    #[test]
+    fn threshold_filters() {
+        // A private logger (the global one is shared across tests).
+        let logger = Logger::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        logger.add_sink(Box::new(CountingSink(Arc::clone(&count))));
+
+        logger.emit(Level::Error, "t", "dropped while off", &[]);
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+
+        logger.set_level(Some(Level::Info));
+        logger.emit(Level::Info, "t", "kept", &[]);
+        logger.emit(Level::Debug, "t", "dropped", &[]);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert!(logger.enabled(Level::Warn));
+        assert!(!logger.enabled(Level::Trace));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join("viralcast-obs-events-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let logger = Logger::new();
+        logger.set_level(Some(Level::Debug));
+        logger.add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        logger.emit(
+            Level::Info,
+            "slpa",
+            "converged",
+            &[("iterations", 14u64.into())],
+        );
+        logger.emit(Level::Debug, "pgd", "epoch", &[("ll", (-1.5).into())]);
+        logger.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"stage\":\"slpa\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"iterations\":14"), "{}", lines[0]);
+        assert!(lines[1].contains("\"level\":\"debug\""), "{}", lines[1]);
+    }
+}

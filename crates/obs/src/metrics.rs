@@ -1,0 +1,468 @@
+//! A lock-free metrics registry: counters, gauges, and fixed-bucket
+//! histograms safe to update from inside rayon workers.
+//!
+//! Handle acquisition (`registry.counter("pgd.epochs")`) takes a
+//! read-lock on the name table once; every subsequent update on the
+//! returned `Arc` handle is a plain atomic operation, so the inner
+//! optimiser loops pay no locks. Floating-point accumulation (histogram
+//! sums, gauges, min/max) uses compare-exchange loops on the f64 bit
+//! pattern — updates are never lost, though the *order* of additions is
+//! whatever the race produced (sums of well-scaled values are stable to
+//! ~1 ulp per update, which is far below measurement noise).
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn incr(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins f64 gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Applies `combine(current, v)` atomically to an f64 stored as bits.
+fn atomic_f64_apply(cell: &AtomicU64, v: f64, combine: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = combine(f64::from_bits(cur), v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A histogram over fixed upper-bound buckets.
+///
+/// A value `v` lands in the first bucket whose bound is `>= v`; values
+/// above every bound land in the overflow bucket (`buckets.len() ==
+/// bounds.len() + 1`). Count, sum, min and max are tracked exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_apply(&self.sum_bits, v, |a, b| a + b);
+        atomic_f64_apply(&self.min_bits, v, f64::min);
+        atomic_f64_apply(&self.max_bits, v, f64::max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the overflow bucket has no bound).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`0.0` when empty).
+    pub min: f64,
+    /// Largest observation (`0.0` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            (
+                "bounds",
+                JsonValue::Arr(self.bounds.iter().map(|&b| b.into()).collect()),
+            ),
+            (
+                "buckets",
+                JsonValue::Arr(self.buckets.iter().map(|&b| b.into()).collect()),
+            ),
+            ("count", JsonValue::from(self.count)),
+            ("sum", JsonValue::from(self.sum)),
+            ("min", JsonValue::from(self.min)),
+            ("max", JsonValue::from(self.max)),
+        ])
+    }
+}
+
+/// A point-in-time copy of every metric, with deterministic (sorted)
+/// iteration order — the unit serialised into run reports and diffed by
+/// the bench harness.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// JSON form:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            (
+                "counters",
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), v.into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), v.into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn read_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The name → metric table. Use [`crate::metrics()`] for the process
+/// global, or create private registries in tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = read_or_recover(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            write_or_recover(&self.counters)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = read_or_recover(&self.gauges).get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            write_or_recover(&self.gauges)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram registered under `name`, created with `bounds` on
+    /// first use (later calls keep the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = read_or_recover(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write_or_recover(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Zeroes every registered metric in place — existing handles stay
+    /// attached (the CLI resets between a warm-up and a measured run).
+    pub fn reset(&self) {
+        for c in read_or_recover(&self.counters).values() {
+            c.reset();
+        }
+        for g in read_or_recover(&self.gauges).values() {
+            g.reset();
+        }
+        for h in read_or_recover(&self.histograms).values() {
+            h.reset();
+        }
+    }
+
+    /// A consistent-enough copy of every metric (each value is read
+    /// atomically; the set is whatever was registered at call time).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: read_or_recover(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: read_or_recover(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: read_or_recover(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry the pipeline stages report into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter("a").incr(2);
+        r.counter("a").incr(3);
+        assert_eq!(r.counter("a").get(), 5);
+        assert_eq!(r.snapshot().counters["a"], 5);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = MetricsRegistry::new();
+        r.gauge("g").set(1.5);
+        r.gauge("g").set(-2.25);
+        assert_eq!(r.gauge("g").get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // 0.5 and 1.0 land in the <=1 bucket, 5.0 in <=10, 100 overflows.
+        assert_eq!(s.buckets, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 106.5).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_finite() {
+        let h = Histogram::new(&[1.0]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn histogram_bounds_are_first_registration_wins() {
+        let r = MetricsRegistry::new();
+        let h1 = r.histogram("h", &[1.0, 2.0]);
+        let h2 = r.histogram("h", &[99.0]);
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h2.snapshot().bounds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h", &[1.0]);
+        c.incr(7);
+        h.record(0.5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        // Handles acquired before the reset still feed the registry.
+        c.incr(1);
+        assert_eq!(r.snapshot().counters["c"], 1);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        // Std-thread version of the rayon test in tests/concurrency.rs,
+        // runnable without any dev-dependencies.
+        let r = MetricsRegistry::new();
+        let c = r.counter("spins");
+        let h = r.histogram("values", &[8.0, 64.0]);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for i in 0..per_thread {
+                        c.incr(1);
+                        h.record((i % 100) as f64);
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        assert_eq!(c.get(), total);
+        let s = h.snapshot();
+        assert_eq!(s.count, total);
+        assert_eq!(s.buckets.iter().sum::<u64>(), total);
+        // Sum of 0..100 repeated: exact in f64 (integers < 2^53).
+        let expected: f64 = (0..per_thread).map(|i| (i % 100) as f64).sum::<f64>() * threads as f64;
+        assert_eq!(s.sum, expected);
+    }
+
+    #[test]
+    fn snapshot_json_is_shaped() {
+        let r = MetricsRegistry::new();
+        r.counter("n").incr(1);
+        r.gauge("g").set(0.5);
+        r.histogram("h", &[1.0]).record(2.0);
+        let json = r.snapshot().to_json().render();
+        for needle in [
+            "\"counters\":{\"n\":1}",
+            "\"gauges\":{\"g\":0.5}",
+            "\"buckets\":[0,1]",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The machine-readable run report: top-level run attributes + the
+//! span-timing tree + a metrics snapshot, serialised as one JSON
+//! document the bench harness diffs across PRs.
+
+use crate::json::JsonValue;
+use crate::metrics::MetricsSnapshot;
+use crate::span::StageTimings;
+use std::io::Write;
+use std::path::Path;
+
+/// Schema identifier written into every report.
+pub const RUN_REPORT_SCHEMA: &str = "viralcast-run-report/v1";
+
+/// One run's worth of observability output.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Free-form top-level attributes (command, dataset sizes, thread
+    /// count, objective trajectory, …) in insertion order.
+    pub attrs: Vec<(String, JsonValue)>,
+    /// Aggregated span timings.
+    pub timings: StageTimings,
+    /// Metrics registry snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// A report with the given timing tree and metrics.
+    pub fn new(timings: StageTimings, metrics: MetricsSnapshot) -> RunReport {
+        RunReport {
+            attrs: Vec::new(),
+            timings,
+            metrics,
+        }
+    }
+
+    /// Adds a top-level attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> RunReport {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// The JSON document:
+    /// `{"schema": …, <attrs…>, "timings": {…}, "metrics": {…}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs: Vec<(String, JsonValue)> = vec![("schema".into(), RUN_REPORT_SCHEMA.into())];
+        pairs.extend(self.attrs.iter().cloned());
+        pairs.push(("timings".into(), self.timings.to_json()));
+        pairs.push(("metrics".into(), self.metrics.to_json()));
+        JsonValue::Obj(pairs)
+    }
+
+    /// Writes the pretty-printed report to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        writeln!(file, "{}", self.to_json().render_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::{Recorder, Span};
+
+    #[test]
+    fn report_json_contains_all_sections() {
+        let recorder = Recorder::new("run");
+        {
+            let _g = recorder.install();
+            let _s = Span::enter("cooccurrence");
+        }
+        let registry = MetricsRegistry::new();
+        registry.counter("slpa.iterations").incr(14);
+
+        let report = RunReport::new(recorder.finish(), registry.snapshot())
+            .attr("command", "infer")
+            .attr("threads", 4usize);
+        let json = report.to_json().render();
+        for needle in [
+            "\"schema\":\"viralcast-run-report/v1\"",
+            "\"command\":\"infer\"",
+            "\"threads\":4",
+            "\"name\":\"cooccurrence\"",
+            "\"slpa.iterations\":14",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn save_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("viralcast-obs-report-test/nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.json");
+        RunReport::default().save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("viralcast-run-report/v1"));
+    }
+}

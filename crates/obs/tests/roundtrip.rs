@@ -1,0 +1,128 @@
+//! Round-trips every JSON document the obs crate emits through
+//! `serde_json`, proving the hand-rolled writer produces strict JSON
+//! and that the expected span/metric names survive serialisation.
+
+use std::path::PathBuf;
+use viralcast_obs as obs;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("viralcast-obs-roundtrip")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn jsonl_event_log_parses_back() {
+    let dir = temp_dir("jsonl");
+    let path = dir.join("trace.jsonl");
+
+    // A private logger would be ideal, but the global one is what the
+    // pipeline uses; exercise the same path with a dedicated file sink.
+    let logger = {
+        // Logger::new is private; go through the sink directly.
+        obs::JsonlSink::create(&path).unwrap()
+    };
+    use obs::Sink as _;
+    for (stage, msg, n) in [("slpa", "converged", 14u64), ("pgd", "epoch", 3)] {
+        logger.emit(&obs::Event {
+            level: obs::Level::Info,
+            stage,
+            message: msg,
+            fields: &[
+                ("n", n.into()),
+                ("weird", "quote\" and \\ backslash".into()),
+            ],
+            elapsed_secs: 0.125,
+        });
+    }
+    logger.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let stages: Vec<String> = lines
+        .iter()
+        .map(|line| {
+            let v: serde_json::Value =
+                serde_json::from_str(line).expect("line must be strict JSON");
+            assert_eq!(v["level"], "info");
+            assert_eq!(v["fields"]["weird"], "quote\" and \\ backslash");
+            v["stage"].as_str().unwrap().to_string()
+        })
+        .collect();
+    assert_eq!(stages, vec!["slpa", "pgd"]);
+}
+
+#[test]
+fn metrics_snapshot_parses_back() {
+    let registry = obs::MetricsRegistry::new();
+    registry.counter("slpa.iterations").incr(14);
+    registry.gauge("pgd.objective").set(-1234.5);
+    let h = registry.histogram("split.fanout", &[2.0, 8.0]);
+    for v in [1.0, 4.0, 100.0] {
+        h.record(v);
+    }
+
+    let json = registry.snapshot().to_json().render();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("snapshot must be strict JSON");
+    assert_eq!(v["counters"]["slpa.iterations"], 14);
+    assert_eq!(v["gauges"]["pgd.objective"], -1234.5);
+    assert_eq!(v["histograms"]["split.fanout"]["count"], 3);
+    assert_eq!(
+        v["histograms"]["split.fanout"]["buckets"],
+        serde_json::json!([1, 1, 1])
+    );
+}
+
+#[test]
+fn run_report_file_parses_back_with_expected_span_names() {
+    let dir = temp_dir("report");
+    let path = dir.join("run.json");
+
+    // Build a timing tree shaped like a real `viralcast infer` run.
+    let recorder = obs::Recorder::new("viralcast");
+    {
+        let _g = recorder.install();
+        {
+            let _infer = obs::Span::enter("infer");
+            let _c = obs::Span::enter("cooccurrence");
+        }
+        {
+            let _infer = obs::Span::enter("infer");
+            let _s = obs::Span::enter("slpa");
+        }
+    }
+    let registry = obs::MetricsRegistry::new();
+    registry.counter("pgd.epochs").incr(40);
+
+    obs::RunReport::new(recorder.finish(), registry.snapshot())
+        .attr("command", "infer")
+        .attr("ll_trajectory", vec![-10.0, -5.0, -2.5])
+        .attr("nan_guard", f64::NAN) // must serialise as null, not NaN
+        .save(&path)
+        .unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).expect("report must be strict JSON");
+    assert_eq!(v["schema"], "viralcast-run-report/v1");
+    assert_eq!(v["command"], "infer");
+    assert_eq!(v["ll_trajectory"], serde_json::json!([-10.0, -5.0, -2.5]));
+    assert!(v["nan_guard"].is_null());
+    assert_eq!(v["metrics"]["counters"]["pgd.epochs"], 40);
+
+    // Expected span names present in the nested tree.
+    assert_eq!(v["timings"]["name"], "viralcast");
+    let infer = &v["timings"]["children"][0];
+    assert_eq!(infer["name"], "infer");
+    assert_eq!(infer["count"], 2, "repeated spans must aggregate");
+    let child_names: Vec<&str> = infer["children"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c["name"].as_str().unwrap())
+        .collect();
+    assert_eq!(child_names, vec!["cooccurrence", "slpa"]);
+}

@@ -65,8 +65,8 @@ pub fn cross_validate(
         if test_idx.is_empty() {
             continue;
         }
-        let has_both = train_idx.iter().any(|&i| labels[i] == 1)
-            && train_idx.iter().any(|&i| labels[i] == -1);
+        let has_both =
+            train_idx.iter().any(|&i| labels[i] == 1) && train_idx.iter().any(|&i| labels[i] == -1);
         if !has_both {
             continue; // degenerate split, cannot train
         }
@@ -156,9 +156,15 @@ mod tests {
     fn random_labels_score_midling() {
         // Features carry no signal: F1 should be far from 1.
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64]).collect();
-        let ys: Vec<i8> = (0..100).map(|i| if (i * 7 + 3) % 13 < 6 { 1 } else { -1 }).collect();
+        let ys: Vec<i8> = (0..100)
+            .map(|i| if (i * 7 + 3) % 13 < 6 { 1 } else { -1 })
+            .collect();
         let report = cross_validate(&xs, &ys, 5, &SvmConfig::default(), 2);
-        assert!(report.score.f1 < 0.85, "suspiciously high F1 {}", report.score.f1);
+        assert!(
+            report.score.f1 < 0.85,
+            "suspiciously high F1 {}",
+            report.score.f1
+        );
     }
 
     #[test]

@@ -65,11 +65,7 @@ pub fn extract_features(embeddings: &Embeddings, adopters: &[NodeId]) -> Cascade
         let ai = embeddings.influence(i);
         for &j in &adopters[idx + 1..] {
             let aj = embeddings.influence(j);
-            let d2: f64 = ai
-                .iter()
-                .zip(aj)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum();
+            let d2: f64 = ai.iter().zip(aj).map(|(x, y)| (x - y) * (x - y)).sum();
             diver_a = diver_a.max(d2.sqrt());
         }
     }
@@ -86,12 +82,7 @@ mod tests {
 
     fn embeddings() -> Embeddings {
         // 3 nodes, 2 topics. A rows: [1,0], [0,1], [3,4].
-        Embeddings::from_matrices(
-            3,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 3.0, 4.0],
-            vec![0.0; 6],
-        )
+        Embeddings::from_matrices(3, 2, vec![1.0, 0.0, 0.0, 1.0, 3.0, 4.0], vec![0.0; 6])
     }
 
     #[test]

@@ -78,8 +78,7 @@ impl Dataset {
         }
         let mut sorted = self.sizes.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
-        let idx = ((sorted.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, sorted.len());
+        let idx = ((sorted.len() as f64 * fraction).ceil() as usize).clamp(1, sorted.len());
         sorted[idx - 1].saturating_sub(1)
     }
 }
@@ -139,13 +138,7 @@ pub fn threshold_sweep(
         if positives == 0 || positives == labels.len() {
             continue;
         }
-        let report = cross_validate(
-            &dataset.features,
-            &labels,
-            task.folds,
-            &task.svm,
-            task.seed,
-        );
+        let report = cross_validate(&dataset.features, &labels, task.folds, &task.svm, task.seed);
         out.push(SweepPoint {
             threshold,
             positives,

@@ -78,7 +78,10 @@ impl LinearSvm {
             labels.iter().all(|&y| y == 1 || y == -1),
             "labels must be ±1"
         );
-        assert!(config.lambda > 0.0 && config.steps > 0, "bad hyper-parameters");
+        assert!(
+            config.lambda > 0.0 && config.steps > 0,
+            "bad hyper-parameters"
+        );
 
         // Augmented weight vector: last slot is the bias against a
         // constant 1 feature.
@@ -106,7 +109,7 @@ impl LinearSvm {
             let y = labels[i] as f64;
             let class_weight = if labels[i] == 1 { w_pos } else { w_neg };
             let eta = 1.0 / (config.lambda * t as f64);
-            let margin = y * (dot_aug(&w, x) );
+            let margin = y * (dot_aug(&w, x));
             let shrink = 1.0 - eta * config.lambda;
             for wi in w.iter_mut() {
                 *wi *= shrink;
@@ -134,7 +137,12 @@ impl LinearSvm {
     /// The signed decision value `⟨w, x⟩ + b`.
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
-        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias
     }
 
     /// Predicted label in `{-1, +1}` (`0` decision counts as `+1`).

@@ -47,7 +47,10 @@ impl std::fmt::Display for CascadeError {
         match self {
             CascadeError::Empty => write!(f, "cascade has no infections"),
             CascadeError::DuplicateNode(u) => {
-                write!(f, "node {u} infected more than once (SI dynamics forbid this)")
+                write!(
+                    f,
+                    "node {u} infected more than once (SI dynamics forbid this)"
+                )
             }
             CascadeError::InvalidTime => write!(f, "infection time is NaN or negative"),
         }
@@ -130,9 +133,7 @@ impl Cascade {
     /// The prefix of infections with `time ≤ cutoff` — the "early
     /// adopters" fed to the prediction features. May be empty.
     pub fn prefix_until(&self, cutoff: f64) -> &[Infection] {
-        let end = self
-            .infections
-            .partition_point(|i| i.time <= cutoff);
+        let end = self.infections.partition_point(|i| i.time <= cutoff);
         &self.infections[..end]
     }
 
@@ -170,10 +171,9 @@ pub struct CascadeSet {
 impl CascadeSet {
     /// A corpus over `node_count` nodes.
     pub fn new(node_count: usize, cascades: Vec<Cascade>) -> Self {
-        debug_assert!(cascades.iter().all(|c| c
-            .infections()
+        debug_assert!(cascades
             .iter()
-            .all(|i| i.node.index() < node_count)));
+            .all(|c| c.infections().iter().all(|i| i.node.index() < node_count)));
         CascadeSet {
             node_count,
             cascades,
@@ -202,7 +202,10 @@ impl CascadeSet {
 
     /// Adds a cascade.
     pub fn push(&mut self, c: Cascade) {
-        debug_assert!(c.infections().iter().all(|i| i.node.index() < self.node_count));
+        debug_assert!(c
+            .infections()
+            .iter()
+            .all(|i| i.node.index() < self.node_count));
         self.cascades.push(c);
     }
 
@@ -343,11 +346,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn infection_list() -> impl Strategy<Value = Vec<Infection>> {
-        prop::collection::btree_map(0u32..50, 0.0f64..100.0, 1..30).prop_map(|m| {
-            m.into_iter()
-                .map(|(n, t)| Infection::new(n, t))
-                .collect()
-        })
+        prop::collection::btree_map(0u32..50, 0.0f64..100.0, 1..30)
+            .prop_map(|m| m.into_iter().map(|(n, t)| Infection::new(n, t)).collect())
     }
 
     proptest! {

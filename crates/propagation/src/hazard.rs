@@ -47,7 +47,10 @@ impl Exponential {
     /// # Panics
     /// Panics if `rate` is not strictly positive and finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 }
@@ -97,7 +100,10 @@ impl Rayleigh {
     /// # Panics
     /// Panics if `alpha` is not strictly positive and finite.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive, got {alpha}"
+        );
         Rayleigh { alpha }
     }
 }

@@ -150,7 +150,11 @@ pub fn planted_embeddings<R: Rng>(
     };
     for (u, &c) in membership.iter().enumerate() {
         for t in 0..k {
-            let mean = if t == c { config.on_topic } else { config.off_topic };
+            let mean = if t == c {
+                config.on_topic
+            } else {
+                config.off_topic
+            };
             a[u * k + t] = draw(mean, rng);
             b[u * k + t] = draw(mean, rng);
         }

@@ -185,8 +185,7 @@ impl<'g, P: RateProvider> Simulator<'g, P> {
         for _ in 0..count {
             let mut cascade = self.simulate(rng);
             let mut retries = 0;
-            while cascade.len() < self.config.min_cascade_size
-                && retries < self.config.max_retries
+            while cascade.len() < self.config.min_cascade_size && retries < self.config.max_retries
             {
                 cascade = self.simulate(rng);
                 retries += 1;
@@ -209,7 +208,8 @@ impl<P: RateProvider> Simulator<'_, P> {
         let cascades: Vec<Cascade> = (0..count)
             .into_par_iter()
             .map(|i| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 let mut cascade = self.simulate(&mut rng);
                 let mut retries = 0;
                 while cascade.len() < self.config.min_cascade_size
@@ -294,10 +294,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
             let c = sim.simulate(&mut rng);
-            assert!(c
-                .infections()
-                .iter()
-                .all(|i| i.time <= 2.5 + 1e-12));
+            assert!(c.infections().iter().all(|i| i.time <= 2.5 + 1e-12));
         }
     }
 

@@ -119,13 +119,7 @@ mod tests {
     use crate::cascade::{Cascade, Infection};
 
     fn cascade(nodes: &[(u32, f64)]) -> Cascade {
-        Cascade::new(
-            nodes
-                .iter()
-                .map(|&(n, t)| Infection::new(n, t))
-                .collect(),
-        )
-        .unwrap()
+        Cascade::new(nodes.iter().map(|&(n, t)| Infection::new(n, t)).collect()).unwrap()
     }
 
     fn corpus() -> CascadeSet {

@@ -86,7 +86,10 @@ pub fn load(path: &Path) -> Result<CascadeSet, StoreError> {
         }
         let c: Cascade = serde_json::from_str(&line)
             .map_err(|e| StoreError::Format(format!("bad cascade: {e}")))?;
-        if c.infections().iter().any(|i| i.node.index() >= header.node_count) {
+        if c.infections()
+            .iter()
+            .any(|i| i.node.index() >= header.node_count)
+        {
             return Err(StoreError::Format(
                 "cascade references node outside the declared universe".into(),
             ));
@@ -153,7 +156,10 @@ mod tests {
         save(&set, &path).unwrap();
         // Append a forged extra cascade.
         use std::io::Write as _;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
         writeln!(f, "{}", serde_json::to_string(&set.cascades()[1]).unwrap()).unwrap();
         let err = load(&path).unwrap_err();
         assert!(matches!(err, StoreError::Format(_)));

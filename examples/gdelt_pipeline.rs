@@ -9,13 +9,13 @@
 //!     --sites 1200 --events 1500 --seed 7
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use viralnews::cli::Flags;
 use viralnews::viralcast::gdelt::{GdeltConfig, GdeltWorld};
 use viralnews::viralcast::predict::pipeline::Dataset;
 use viralnews::viralcast::prelude::*;
 use viralnews::viralcast::propagation::stats::locality_fraction;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let flags = Flags::from_env();
@@ -45,7 +45,10 @@ fn main() {
     let split = events * 2 / 3;
     let (train, test) = corpus.split_at(split);
 
-    println!("inferring site embeddings from {} historical events…", train.len());
+    println!(
+        "inferring site embeddings from {} historical events…",
+        train.len()
+    );
     let inference = infer_embeddings(&train, &InferOptions::default());
     println!(
         "  {} co-reporting communities detected",

@@ -7,11 +7,11 @@
 //! cargo run --release --example influencers -- --sites 800 --events 1000
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use viralnews::cli::Flags;
 use viralnews::viralcast::gdelt::{GdeltConfig, GdeltWorld};
 use viralnews::viralcast::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let flags = Flags::from_env();
@@ -39,7 +39,10 @@ fn main() {
         "rank", "site", "region", "popularity", "score"
     );
     let reports = table.reports_per_site();
-    for (rank, r) in top_influencers(&inference.embeddings, 15).iter().enumerate() {
+    for (rank, r) in top_influencers(&inference.embeddings, 15)
+        .iter()
+        .enumerate()
+    {
         let site = &world.sites()[r.node.index()];
         println!(
             "{:>5} {:<22} {:>6} {:>12.0} {:>10.3}",

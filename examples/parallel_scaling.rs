@@ -41,9 +41,13 @@ fn main() {
         num_threads_available()
     );
 
-    println!("{:>6} {:>10} {:>9} {:>11}", "cores", "time (s)", "speedup", "efficiency");
+    println!(
+        "{:>6} {:>10} {:>9} {:>11}",
+        "cores", "time (s)", "speedup", "efficiency"
+    );
     let mut t1 = None;
     let mut cores = 1;
+    let mut last_report = None;
     while cores <= max_cores {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cores)
@@ -53,9 +57,11 @@ fn main() {
             topics: options.topics,
             ..options.hierarchical
         };
-        let start = std::time::Instant::now();
-        let (_emb, _report) = pool.install(|| infer(experiment.train(), &partition, &hier));
-        let secs = start.elapsed().as_secs_f64();
+        let (_emb, report) = pool.install(|| infer(experiment.train(), &partition, &hier));
+        // Seconds come from the inference's own span tree, so pool
+        // setup/teardown never pollutes the measurement.
+        let secs = report.total_seconds();
+        last_report = Some(report);
         let base = *t1.get_or_insert(secs);
         println!(
             "{:>6} {:>10.2} {:>9.2} {:>11.2}",
@@ -65,6 +71,10 @@ fn main() {
             base / secs / cores as f64
         );
         cores *= 2;
+    }
+    if let Some(report) = last_report {
+        println!("\nspan tree of the last run ({} cores):", cores / 2);
+        println!("{}", report.timings.render());
     }
     println!("\n(speedup saturates near the physical core count; the paper's 50× needs 64 cores)");
 }

@@ -80,4 +80,7 @@ fn main() {
     for r in top {
         println!("  node {:>4}  score {:.3}", r.node, r.score);
     }
+
+    // 5. Where did the time go? The span tree recorded by viralcast-obs.
+    println!("\nstage timings:\n{}", inference.timings.render());
 }

@@ -36,7 +36,10 @@ fn main() {
         sizes.mean, sizes.median, sizes.p90, sizes.max
     );
 
-    println!("inferring embeddings from {} training cascades…", experiment.train().len());
+    println!(
+        "inferring embeddings from {} training cascades…",
+        experiment.train().len()
+    );
     let t0 = std::time::Instant::now();
     let inference = infer_embeddings(
         experiment.train(),
@@ -70,7 +73,10 @@ fn main() {
     let max_size = dataset.sizes.iter().copied().max().unwrap_or(0);
     let thresholds: Vec<usize> = (0..=max_size).step_by((max_size / 12).max(1)).collect();
     println!("\nthreshold sweep:");
-    println!("{:>10} {:>10} {:>8} {:>8} {:>8}", "size >", "#viral", "F1", "prec", "recall");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>8}",
+        "size >", "#viral", "F1", "prec", "recall"
+    );
     for p in threshold_sweep(&dataset, &thresholds, &task) {
         println!(
             "{:>10} {:>10} {:>8.3} {:>8.3} {:>8.3}",

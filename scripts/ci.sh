@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local CI: the gate every PR must pass.
+#
+#   scripts/ci.sh            # full sweep
+#   scripts/ci.sh --no-build # skip the release build (quick lint loop)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-build) build=0 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+if [ "$build" -eq 1 ]; then
+    run cargo build --release
+fi
+run cargo test -q
+
+echo
+echo "CI OK"

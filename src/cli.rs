@@ -72,7 +72,10 @@ impl Flags {
     fn parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
         self.values.get(key).map(|v| {
             v.parse().unwrap_or_else(|_| {
-                panic!("flag --{key} expects a {}, got {v:?}", std::any::type_name::<T>())
+                panic!(
+                    "flag --{key} expects a {}, got {v:?}",
+                    std::any::type_name::<T>()
+                )
             })
         })
     }

@@ -56,10 +56,10 @@ fn inferred_rates_correlate_with_ground_truth() {
 fn mle_recovers_scaled_rate_on_chain_world() {
     // A controlled check of the estimator itself: chains 0→1→2 with a
     // known rate; the product A_0·B_1 must converge near the truth.
-    use viralnews::viralcast::embed::pgd::{optimize, PgdConfig};
-    use viralnews::viralcast::embed::subcascade::IndexedCascade;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use viralnews::viralcast::embed::pgd::{optimize, PgdConfig};
+    use viralnews::viralcast::embed::subcascade::IndexedCascade;
 
     let true_rate = 3.0;
     let mut rng = StdRng::seed_from_u64(2);
@@ -106,10 +106,10 @@ fn influencer_ranking_recovers_boosted_nodes() {
     // dominate the inferred top-10 ranking.
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use viralnews::viralcast::graph::sbm;
     use viralnews::viralcast::propagation::{
         planted_embeddings, EmbeddingRates, SimulationConfig, Simulator,
     };
-    use viralnews::viralcast::graph::sbm;
 
     let sbm_config = SbmConfig {
         nodes: 120,
