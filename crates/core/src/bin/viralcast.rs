@@ -6,6 +6,7 @@
 //! viralcast infer          --corpus corpus.jsonl --topics 8 --out embeddings.json
 //! viralcast predict        --corpus test.jsonl --embeddings embeddings.json --window 1.0
 //! viralcast influencers    --embeddings embeddings.json --top 10
+//! viralcast serve          --embeddings embeddings.json --addr 127.0.0.1:8080
 //! ```
 //!
 //! Every subcommand is deterministic given `--seed`. `--threads N`
@@ -106,6 +107,7 @@ fn run() -> Result<(), CliError> {
             "infer" => infer_cmd(&flags, &recorder)?,
             "predict" => predict_cmd(&flags)?,
             "influencers" => influencers_cmd(&flags)?,
+            "serve" => serve_cmd(&flags)?,
             _ => unreachable!("validated by command_flags"),
         }
     };
@@ -133,6 +135,17 @@ USAGE:
   viralcast infer          --corpus FILE --out FILE [--topics K] [--seed S] [--threads T]
   viralcast predict        --corpus FILE --embeddings FILE [--window W] [--early F] [--top P]
   viralcast influencers    --embeddings FILE [--top K]
+  viralcast serve          --embeddings FILE [--addr HOST:PORT] [--workers N]
+                           [--retrain-interval SECS] [--min-retrain-batch N]
+                           [--ingest-capacity N]
+
+SERVE:
+  Runs the online prediction daemon: GET /healthz, GET /metrics,
+  POST /v1/hazard, POST /v1/predict, GET /v1/influencers, POST /v1/ingest.
+  Ingested cascades are retrained in the background every
+  --retrain-interval seconds (default 5) once --min-retrain-batch
+  cascades (default 1) are buffered, atomically publishing a new model
+  snapshot. Stop with ctrl-c (SIGINT) or SIGTERM.
 
 OBSERVABILITY (all commands):
   --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
@@ -181,6 +194,14 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("top", true),
         ],
         "influencers" => &[("embeddings", true), ("top", true)],
+        "serve" => &[
+            ("embeddings", true),
+            ("addr", true),
+            ("workers", true),
+            ("retrain-interval", true),
+            ("min-retrain-batch", true),
+            ("ingest-capacity", true),
+        ],
         _ => return None,
     };
     Some(own.iter().chain(COMMON_FLAGS.iter()).copied().collect())
@@ -414,6 +435,68 @@ fn influencers_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     Ok(vec![
         ("nodes".into(), embeddings.node_count().into()),
         ("top".into(), ranked.len().into()),
+    ])
+}
+
+fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::serve;
+
+    let emb_path = flags.require_path("embeddings")?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let workers = flags.usize("workers", 4)?;
+    let retrain_interval = flags.f64("retrain-interval", 5.0)?;
+    let min_batch = flags.usize("min-retrain-batch", 1)?;
+    let ingest_capacity = flags.usize("ingest-capacity", 4096)?;
+    if !retrain_interval.is_finite() || retrain_interval <= 0.0 {
+        return Err(usage_err(format!(
+            "--retrain-interval must be a positive number of seconds \
+             (got {retrain_interval})"
+        )));
+    }
+
+    let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
+    let (nodes, topics) = (embeddings.node_count(), embeddings.topic_count());
+
+    // The daemon's trainer calls back into the pipeline's incremental
+    // update; the topic count is pinned to the loaded model's.
+    let retrain: serve::RetrainFn = Box::new(move |current, fresh| {
+        let options = InferOptions {
+            topics,
+            ..InferOptions::default()
+        };
+        update_embeddings(current, fresh, &options)
+            .map(|outcome| outcome.embeddings)
+            .map_err(|e| e.to_string())
+    });
+
+    let config = serve::ServeConfig {
+        addr,
+        workers,
+        trainer: serve::TrainerConfig {
+            interval: std::time::Duration::from_secs_f64(retrain_interval),
+            min_batch,
+        },
+        ingest_capacity,
+        ..serve::ServeConfig::default()
+    };
+    let handle = serve::start(embeddings, retrain, config).map_err(runtime_err)?;
+    let bound = handle.local_addr();
+    println!("viralcast-serve listening on http://{bound} ({nodes} nodes × {topics} topics)");
+    println!("press ctrl-c to stop");
+
+    let shutdown = serve::install_ctrlc();
+    while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutting down…");
+    let final_version = handle.snapshots().version();
+    handle.shutdown();
+    println!("stopped at snapshot v{final_version}");
+    Ok(vec![
+        ("addr".into(), bound.to_string().into()),
+        ("nodes".into(), nodes.into()),
+        ("topics".into(), topics.into()),
+        ("final_snapshot_version".into(), final_version.into()),
     ])
 }
 

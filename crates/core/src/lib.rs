@@ -54,7 +54,9 @@ pub mod prelude;
 
 pub use experiment::{SbmExperiment, SbmExperimentConfig};
 pub use influencers::{top_influencers, topic_influencers, InfluencerRank};
-pub use pipeline::{infer_embeddings, update_embeddings, InferOptions, InferenceOutcome};
+pub use pipeline::{
+    infer_embeddings, update_embeddings, InferOptions, InferenceOutcome, UpdateError,
+};
 
 // Re-export the component crates under stable names so downstream users
 // need only one dependency.
@@ -65,3 +67,4 @@ pub use viralcast_graph as graph;
 pub use viralcast_obs as obs;
 pub use viralcast_predict as predict;
 pub use viralcast_propagation as propagation;
+pub use viralcast_serve as serve;

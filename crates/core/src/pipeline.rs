@@ -126,6 +126,66 @@ pub fn infer_embeddings(cascades: &CascadeSet, options: &InferOptions) -> Infere
     }
 }
 
+/// Why an incremental update was rejected before touching the model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The corpus declares a different node universe than the embeddings
+    /// have rows for.
+    UniverseMismatch {
+        /// Rows in the existing embeddings.
+        embedding_nodes: usize,
+        /// `node_count` declared by the new corpus.
+        corpus_nodes: usize,
+    },
+    /// `options.topics` differs from the embeddings' topic count.
+    TopicMismatch {
+        /// Topics in the existing embeddings.
+        embedding_topics: usize,
+        /// Topics requested by the options.
+        requested_topics: usize,
+    },
+    /// A cascade infects a node outside the declared universe (possible
+    /// when the corpus was deserialised rather than built through
+    /// `CascadeSet::new`, whose bounds check is debug-only).
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The declared universe size.
+        node_count: usize,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UniverseMismatch {
+                embedding_nodes,
+                corpus_nodes,
+            } => write!(
+                f,
+                "embedding rows ({embedding_nodes}) and corpus universe \
+                 ({corpus_nodes}) differ"
+            ),
+            UpdateError::TopicMismatch {
+                embedding_topics,
+                requested_topics,
+            } => write!(
+                f,
+                "topic count cannot change across incremental updates \
+                 (embeddings have {embedding_topics}, options request \
+                 {requested_topics})"
+            ),
+            UpdateError::NodeOutOfRange { node, node_count } => write!(
+                f,
+                "cascade infects node {node}, outside the declared universe \
+                 of {node_count} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
 /// Incrementally updates existing embeddings with newly arrived
 /// cascades — the online counterpart of [`infer_embeddings`] for the
 /// paper's deployment story (Figure 5: historical cascades train the
@@ -140,23 +200,37 @@ pub fn infer_embeddings(cascades: &CascadeSet, options: &InferOptions) -> Infere
 /// slightly per update (old knowledge fades unless refreshed — set the
 /// penalty to zero if that is not wanted).
 ///
-/// # Panics
-/// Panics if the corpus references nodes beyond the embedding rows.
+/// # Errors
+/// Returns an [`UpdateError`] — without touching the model — when the
+/// corpus universe or topic count disagrees with the embeddings, or when
+/// a cascade references a node beyond the embedding rows.
 pub fn update_embeddings(
     embeddings: &Embeddings,
     new_cascades: &CascadeSet,
     options: &InferOptions,
-) -> InferenceOutcome {
-    assert_eq!(
-        embeddings.node_count(),
-        new_cascades.node_count(),
-        "embedding rows and corpus universe differ"
-    );
-    assert_eq!(
-        embeddings.topic_count(),
-        options.topics,
-        "topic count cannot change across incremental updates"
-    );
+) -> Result<InferenceOutcome, UpdateError> {
+    if embeddings.node_count() != new_cascades.node_count() {
+        return Err(UpdateError::UniverseMismatch {
+            embedding_nodes: embeddings.node_count(),
+            corpus_nodes: new_cascades.node_count(),
+        });
+    }
+    if embeddings.topic_count() != options.topics {
+        return Err(UpdateError::TopicMismatch {
+            embedding_topics: embeddings.topic_count(),
+            requested_topics: options.topics,
+        });
+    }
+    for cascade in new_cascades.cascades() {
+        for infection in cascade.infections() {
+            if infection.node.index() >= new_cascades.node_count() {
+                return Err(UpdateError::NodeOutOfRange {
+                    node: infection.node.0,
+                    node_count: new_cascades.node_count(),
+                });
+            }
+        }
+    }
     let recorder = obs::Recorder::new("infer");
     let (partition, embeddings, report) = {
         let _recording = recorder.install();
@@ -175,12 +249,12 @@ pub fn update_embeddings(
     };
     recorder.attach_child(report.timings.clone());
 
-    InferenceOutcome {
+    Ok(InferenceOutcome {
         embeddings,
         partition,
         report,
         timings: recorder.finish(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -322,7 +396,7 @@ mod tests {
         let (old, new) = e.train().split_at(e.train().len() / 2);
         let opts = InferOptions::default();
         let base = infer_embeddings(&old, &opts);
-        let updated = update_embeddings(&base.embeddings, &new, &opts);
+        let updated = update_embeddings(&base.embeddings, &new, &opts).unwrap();
 
         let indexed: Vec<IndexedCascade> = new
             .cascades()
@@ -359,7 +433,7 @@ mod tests {
             120,
             vec![Cascade::new(vec![Infection::new(0u32, 0.0), Infection::new(1u32, 0.2)]).unwrap()],
         );
-        let updated = update_embeddings(&base.embeddings, &new, &opts);
+        let updated = update_embeddings(&base.embeddings, &new, &opts).unwrap();
         for u in 2..120u32 {
             let u = NodeId(u);
             assert_eq!(
@@ -371,7 +445,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "topic count cannot change")]
     fn incremental_update_rejects_topic_change() {
         let e = small_experiment(8);
         let opts = InferOptions::default();
@@ -380,6 +453,61 @@ mod tests {
             topics: opts.topics + 1,
             ..opts
         };
-        update_embeddings(&base.embeddings, e.train(), &other);
+        let err = update_embeddings(&base.embeddings, e.train(), &other).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::TopicMismatch {
+                embedding_topics: opts.topics,
+                requested_topics: opts.topics + 1,
+            }
+        );
+        assert!(err.to_string().contains("topic count cannot change"));
+    }
+
+    #[test]
+    fn incremental_update_rejects_universe_mismatch() {
+        let e = small_experiment(9);
+        let opts = InferOptions::default();
+        let base = infer_embeddings(e.train(), &opts);
+        let foreign = CascadeSet::new(121, Vec::new());
+        let err = update_embeddings(&base.embeddings, &foreign, &opts).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::UniverseMismatch {
+                embedding_nodes: 120,
+                corpus_nodes: 121,
+            }
+        );
+    }
+
+    #[test]
+    fn incremental_update_rejects_out_of_range_nodes() {
+        // `CascadeSet::new` only debug-asserts node bounds, and corpora
+        // that arrive through serde skip the constructor entirely — build
+        // such an inconsistent corpus the same way a bad file would.
+        let e = small_experiment(10);
+        let opts = InferOptions::default();
+        let base = infer_embeddings(e.train(), &opts);
+        let corpus: CascadeSet = serde_json::from_str(
+            r#"{
+                "node_count": 120,
+                "cascades": [
+                    {"infections": [
+                        {"node": 0, "time": 0.0},
+                        {"node": 500, "time": 1.0}
+                    ]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let err = update_embeddings(&base.embeddings, &corpus, &opts).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::NodeOutOfRange {
+                node: 500,
+                node_count: 120,
+            }
+        );
+        assert!(err.to_string().contains("outside the declared universe"));
     }
 }

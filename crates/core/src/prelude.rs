@@ -3,7 +3,9 @@
 
 pub use crate::experiment::{SbmExperiment, SbmExperimentConfig};
 pub use crate::influencers::{top_influencers, topic_influencers, InfluencerRank};
-pub use crate::pipeline::{infer_embeddings, update_embeddings, InferOptions, InferenceOutcome};
+pub use crate::pipeline::{
+    infer_embeddings, update_embeddings, InferOptions, InferenceOutcome, UpdateError,
+};
 
 pub use viralcast_community::{Balance, Dendrogram, MergeHierarchy, Partition, Slpa, SlpaConfig};
 pub use viralcast_embed::{

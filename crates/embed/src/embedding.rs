@@ -166,25 +166,74 @@ impl Embeddings {
         out
     }
 
-    /// Saves the embeddings as pretty-printed JSON.
-    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+    /// Saves the embeddings as JSON, tagged with
+    /// [`EMBEDDINGS_FORMAT`] so [`Embeddings::load_json`] can reject
+    /// foreign or stale files by name instead of by parse failure.
+    pub fn save_json(&self, path: &std::path::Path) -> Result<(), EmbeddingFileError> {
+        #[derive(Serialize)]
+        struct SaveFile<'a> {
+            format: &'a str,
+            n: usize,
+            k: usize,
+            a: &'a [f64],
+            b: &'a [f64],
+        }
+        let json = serde_json::to_string(&SaveFile {
+            format: EMBEDDINGS_FORMAT,
+            n: self.n,
+            k: self.k,
+            a: &self.a,
+            b: &self.b,
+        })
+        .map_err(|e| EmbeddingFileError::Format(format!("serialisation failed: {e}")))?;
+        std::fs::write(path, json)?;
+        Ok(())
     }
 
     /// Loads embeddings previously written by [`Embeddings::save_json`].
-    pub fn load_json(path: &std::path::Path) -> std::io::Result<Embeddings> {
-        let text = std::fs::read_to_string(path)?;
-        let emb: Embeddings = serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        if emb.a.len() != emb.n * emb.k || emb.b.len() != emb.n * emb.k {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "embedding matrix shapes do not match the declared dimensions",
-            ));
+    pub fn load_json(path: &std::path::Path) -> Result<Embeddings, EmbeddingFileError> {
+        #[derive(Deserialize)]
+        struct LoadFile {
+            format: Option<String>,
+            n: usize,
+            k: usize,
+            a: Vec<f64>,
+            b: Vec<f64>,
         }
-        Ok(emb)
+        let text = std::fs::read_to_string(path)?;
+        let file: LoadFile = serde_json::from_str(&text).map_err(|e| {
+            EmbeddingFileError::Format(format!("not a parseable embeddings file: {e}"))
+        })?;
+        match file.format.as_deref() {
+            Some(EMBEDDINGS_FORMAT) => {}
+            Some(other) => {
+                return Err(EmbeddingFileError::Format(format!(
+                    "format tag {other:?} does not match {EMBEDDINGS_FORMAT:?}"
+                )))
+            }
+            None => {
+                return Err(EmbeddingFileError::Format(format!(
+                    "missing format tag (expected {EMBEDDINGS_FORMAT:?}; \
+                     was this file written by save_json?)"
+                )))
+            }
+        }
+        if file.a.len() != file.n * file.k || file.b.len() != file.n * file.k {
+            return Err(EmbeddingFileError::Format(format!(
+                "matrix shapes (|A| = {}, |B| = {}) do not match the declared \
+                 {} × {} dimensions",
+                file.a.len(),
+                file.b.len(),
+                file.n,
+                file.k
+            )));
+        }
+        Ok(Embeddings {
+            n: file.n,
+            k: file.k,
+            a: file.a,
+            b: file.b,
+        })
     }
 
     /// Maximum absolute entry-wise difference to another embedding of
@@ -197,6 +246,43 @@ impl Embeddings {
             .chain(self.b.iter().zip(&other.b))
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Format tag written into (and demanded from) embedding JSON files,
+/// mirroring `viralcast-cascades-v1` on the cascade store.
+pub const EMBEDDINGS_FORMAT: &str = "viralcast-embeddings-v1";
+
+/// Why an embeddings file could not be written or read.
+#[derive(Debug)]
+pub enum EmbeddingFileError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file exists but is not a valid tagged embeddings file.
+    Format(String),
+}
+
+impl std::fmt::Display for EmbeddingFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingFileError::Io(e) => write!(f, "embeddings file I/O error: {e}"),
+            EmbeddingFileError::Format(m) => write!(f, "invalid embeddings file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbeddingFileError::Io(e) => Some(e),
+            EmbeddingFileError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EmbeddingFileError {
+    fn from(e: std::io::Error) -> Self {
+        EmbeddingFileError::Io(e)
     }
 }
 
@@ -317,14 +403,78 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
-    #[test]
-    fn load_json_rejects_shape_lies() {
+    /// Writes `contents` to a temp file and returns `load_json`'s error.
+    fn load_error(name: &str, contents: &str) -> EmbeddingFileError {
         let dir = std::env::temp_dir().join("viralcast-embed-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad.json");
-        std::fs::write(&path, r#"{"n":3,"k":2,"a":[1.0],"b":[1.0]}"#).unwrap();
-        assert!(Embeddings::load_json(&path).is_err());
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        let err = Embeddings::load_json(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
+        err
+    }
+
+    #[test]
+    fn save_json_writes_the_format_tag() {
+        let dir = std::env::temp_dir().join("viralcast-embed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tagged.json");
+        Embeddings::zeros(1, 1).save_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            text.contains(&format!("\"format\":\"{EMBEDDINGS_FORMAT}\"")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn load_json_rejects_shape_lies() {
+        let err = load_error(
+            "bad-shape.json",
+            r#"{"format":"viralcast-embeddings-v1","n":3,"k":2,"a":[1.0],"b":[1.0]}"#,
+        );
+        assert!(
+            err.to_string().contains("do not match the declared 3 × 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn load_json_rejects_a_missing_format_tag() {
+        let err = load_error("untagged.json", r#"{"n":1,"k":1,"a":[1.0],"b":[1.0]}"#);
+        assert!(err.to_string().contains("missing format tag"), "{err}");
+    }
+
+    #[test]
+    fn load_json_rejects_a_foreign_format_tag() {
+        let err = load_error(
+            "foreign.json",
+            r#"{"format":"viralcast-cascades-v1","n":1,"k":1,"a":[1.0],"b":[1.0]}"#,
+        );
+        assert!(
+            err.to_string()
+                .contains("does not match \"viralcast-embeddings-v1\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn load_json_rejects_truncated_files() {
+        let err = load_error(
+            "truncated.json",
+            r#"{"format":"viralcast-embeddings-v1","n":4,"#,
+        );
+        assert!(err.to_string().contains("not a parseable"), "{err}");
+    }
+
+    #[test]
+    fn load_json_reports_missing_files_as_io() {
+        let missing = std::env::temp_dir().join("viralcast-embed-test-does-not-exist.json");
+        assert!(matches!(
+            Embeddings::load_json(&missing),
+            Err(EmbeddingFileError::Io(_))
+        ));
     }
 
     #[test]

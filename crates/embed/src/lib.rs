@@ -44,7 +44,7 @@ pub mod parallel;
 pub mod pgd;
 pub mod subcascade;
 
-pub use embedding::Embeddings;
+pub use embedding::{EmbeddingFileError, Embeddings, EMBEDDINGS_FORMAT};
 pub use hierarchical::{
     infer, infer_sequential, infer_warm, HierarchicalConfig, InferenceReport, LevelSummary,
 };

@@ -250,6 +250,60 @@ impl MetricsSnapshot {
             ),
         ])
     }
+
+    /// Prometheus text exposition format (version 0.0.4), the payload a
+    /// `/metrics` endpoint returns. Dotted registry names become
+    /// underscore-separated metric names; histogram buckets are emitted
+    /// cumulatively with `le` labels plus the `+Inf` total, `_sum`, and
+    /// `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, &v) in &self.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, &v) in &self.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cumulative += h.buckets.get(i).copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            cumulative += h.buckets.get(h.bounds.len()).copied().unwrap_or(0);
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+/// Maps a registry name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters (the `.` separators
+/// used here) become `_`, and a leading digit gets a `_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 fn read_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -448,6 +502,42 @@ mod tests {
         // Sum of 0..100 repeated: exact in f64 (integers < 2^53).
         let expected: f64 = (0..per_thread).map(|i| (i % 100) as f64).sum::<f64>() * threads as f64;
         assert_eq!(s.sum, expected);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_sanitised() {
+        let r = MetricsRegistry::new();
+        r.counter("serve.http.requests").incr(3);
+        r.gauge("serve.snapshot.version").set(2.0);
+        let h = r.histogram("serve.retrain.seconds", &[1.0, 10.0]);
+        // Dyadic values: the sum (106) is exact, so Display is stable.
+        for v in [0.5, 0.5, 5.0, 100.0] {
+            h.record(v);
+        }
+        let text = r.snapshot().render_prometheus();
+        for needle in [
+            "# TYPE serve_http_requests counter\nserve_http_requests 3\n",
+            "# TYPE serve_snapshot_version gauge\nserve_snapshot_version 2\n",
+            "# TYPE serve_retrain_seconds histogram\n",
+            "serve_retrain_seconds_bucket{le=\"1\"} 2\n",
+            "serve_retrain_seconds_bucket{le=\"10\"} 3\n",
+            "serve_retrain_seconds_bucket{le=\"+Inf\"} 4\n",
+            "serve_retrain_seconds_sum 106\n",
+            "serve_retrain_seconds_count 4\n",
+        ] {
+            assert!(text.contains(needle), "{needle:?} missing from:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prometheus_names_are_grammar_safe() {
+        assert_eq!(
+            prometheus_name("serve.http.latency_ms.v1_hazard"),
+            "serve_http_latency_ms_v1_hazard"
+        );
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+        assert_eq!(prometheus_name(""), "_");
     }
 
     #[test]

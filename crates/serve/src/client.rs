@@ -1,0 +1,60 @@
+//! A one-shot HTTP client, just big enough to exercise the daemon.
+//!
+//! Used by the integration tests and the serving example; not a general
+//! HTTP client. One request per connection, mirroring the server's
+//! `Connection: close` contract.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code plus body text.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code from the status line.
+    pub status: u16,
+    /// Response body, decoded as UTF-8 (lossily).
+    pub body: String,
+}
+
+/// Sends one request and reads the full response.
+///
+/// `body` is sent with a `Content-Length` header when present. The
+/// connection closes after the exchange.
+pub fn request(
+    addr: &SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: viralcast\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    stream.flush()?;
+
+    // `Connection: close` framing: the response ends when the peer closes.
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response status line: {:?}", text.lines().next()),
+            )
+        })?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok(ClientResponse { status, body })
+}

@@ -1,0 +1,166 @@
+//! The bounded in-memory buffer between `/v1/ingest` and the trainer.
+//!
+//! Request threads append validated cascades; the background trainer
+//! drains the whole buffer at each retrain tick. The buffer is bounded so
+//! a client outpacing the trainer degrades to load-shedding (dropped
+//! cascades are counted, and the ingest response reports them) instead of
+//! unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use viralcast_obs as obs;
+use viralcast_propagation::Cascade;
+
+/// What happened to one ingest batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Cascades admitted to the buffer.
+    pub accepted: usize,
+    /// Cascades shed because the buffer was full.
+    pub dropped: usize,
+    /// Buffer depth after the batch.
+    pub buffered: usize,
+}
+
+/// A bounded FIFO of cascades awaiting retraining.
+#[derive(Debug)]
+pub struct IngestBuffer {
+    capacity: usize,
+    queue: Mutex<VecDeque<Cascade>>,
+}
+
+impl IngestBuffer {
+    /// A buffer holding at most `capacity` cascades (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        IngestBuffer {
+            capacity: capacity.max(1),
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Maximum number of buffered cascades.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current buffer depth.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a batch, shedding whatever exceeds the capacity.
+    pub fn push_batch(&self, cascades: Vec<Cascade>) -> IngestReceipt {
+        let total = cascades.len();
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let room = self.capacity.saturating_sub(queue.len());
+        let accepted = total.min(room);
+        for c in cascades.into_iter().take(accepted) {
+            queue.push_back(c);
+        }
+        let receipt = IngestReceipt {
+            accepted,
+            dropped: total - accepted,
+            buffered: queue.len(),
+        };
+        drop(queue);
+        obs::metrics()
+            .counter("serve.ingest.accepted")
+            .incr(receipt.accepted as u64);
+        obs::metrics()
+            .counter("serve.ingest.dropped")
+            .incr(receipt.dropped as u64);
+        obs::metrics()
+            .gauge("serve.ingest.buffered")
+            .set(receipt.buffered as f64);
+        receipt
+    }
+
+    /// Removes and returns everything buffered (FIFO order).
+    pub fn drain(&self) -> Vec<Cascade> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let out: Vec<Cascade> = queue.drain(..).collect();
+        drop(queue);
+        obs::metrics().gauge("serve.ingest.buffered").set(0.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viralcast_propagation::Infection;
+
+    fn cascade(node: u32) -> Cascade {
+        Cascade::new(vec![
+            Infection::new(node, 0.0),
+            Infection::new(node + 1, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_up_to_capacity_then_sheds() {
+        let buf = IngestBuffer::new(3);
+        let r = buf.push_batch(vec![cascade(0), cascade(2)]);
+        assert_eq!(
+            r,
+            IngestReceipt {
+                accepted: 2,
+                dropped: 0,
+                buffered: 2
+            }
+        );
+        let r = buf.push_batch(vec![cascade(4), cascade(6), cascade(8)]);
+        assert_eq!(
+            r,
+            IngestReceipt {
+                accepted: 1,
+                dropped: 2,
+                buffered: 3
+            }
+        );
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn drain_empties_in_fifo_order() {
+        let buf = IngestBuffer::new(10);
+        buf.push_batch(vec![cascade(0), cascade(5)]);
+        let drained = buf.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].seed().node.0, 0);
+        assert_eq!(drained[1].seed().node.0, 5);
+        assert!(buf.is_empty());
+        assert!(buf.drain().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let buf = IngestBuffer::new(0);
+        assert_eq!(buf.capacity(), 1);
+        let r = buf.push_batch(vec![cascade(0), cascade(2)]);
+        assert_eq!(r.accepted, 1);
+        assert_eq!(r.dropped, 1);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let buf = std::sync::Arc::new(IngestBuffer::new(50));
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let buf = std::sync::Arc::clone(&buf);
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        buf.push_batch(vec![cascade(t * 100 + i)]);
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.len(), 50);
+    }
+}

@@ -1,0 +1,45 @@
+//! `viralcast-serve`: the online prediction daemon.
+//!
+//! A zero-external-dependency HTTP/1.1 server over `std::net` that keeps
+//! a versioned, atomically hot-swappable model snapshot in memory and
+//! answers hazard, next-adopter, and influencer queries from it while a
+//! background trainer folds freshly ingested cascades back into the
+//! embeddings.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`json`] — a strict parser into `viralcast_obs::JsonValue` (the obs
+//!   crate only writes JSON; the daemon must also read it);
+//! - [`http`] — bounded request parsing and response framing;
+//! - [`snapshot`] — the `Arc`-swapped [`snapshot::ModelSnapshot`] store;
+//! - [`ingest`] — the bounded cascade buffer behind `POST /v1/ingest`;
+//! - [`api`] — endpoint codecs and model evaluation, socket-free;
+//! - [`router`] — `(method, path)` dispatch over [`router::AppState`];
+//! - [`trainer`] — the retraining thread (the learner is injected as a
+//!   [`trainer::RetrainFn`], keeping this crate independent of the
+//!   `viralcast` facade);
+//! - [`server`] — listener, worker pool, and the [`server::ServerHandle`]
+//!   lifecycle;
+//! - [`signal`] / [`client`] — ctrl-c plumbing and a tiny test client.
+//!
+//! The daemon deliberately depends on nothing outside the workspace and
+//! the standard library, so it builds (and keeps building) in offline
+//! environments.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod ingest;
+pub mod json;
+pub mod router;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+pub mod trainer;
+
+pub use http::{HttpLimits, Request, Response};
+pub use ingest::{IngestBuffer, IngestReceipt};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use signal::install_ctrlc;
+pub use snapshot::{ModelSnapshot, SnapshotStore};
+pub use trainer::{RetrainFn, TrainerConfig};

@@ -1,0 +1,295 @@
+//! Endpoint dispatch: parsed request → response, no sockets involved.
+
+use std::sync::Arc;
+use std::time::Instant;
+use viralcast_obs::{self as obs, JsonValue};
+
+use crate::api;
+use crate::http::{Request, Response};
+use crate::ingest::IngestBuffer;
+use crate::json;
+use crate::snapshot::SnapshotStore;
+
+/// Everything a request handler can touch.
+pub struct AppState {
+    /// The hot-swappable model.
+    pub snapshots: Arc<SnapshotStore>,
+    /// The trainer's input buffer.
+    pub ingest: Arc<IngestBuffer>,
+    /// Daemon start time (for `/healthz` uptime).
+    pub started: Instant,
+}
+
+/// A short label for per-endpoint metrics (`other` for unmatched paths).
+pub fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/v1/hazard" => "v1_hazard",
+        "/v1/predict" => "v1_predict",
+        "/v1/influencers" => "v1_influencers",
+        "/v1/ingest" => "v1_ingest",
+        _ => "other",
+    }
+}
+
+/// Dispatches one request.
+pub fn route(req: &Request, state: &AppState) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(),
+        ("POST", "/v1/hazard") => with_body(req, |body| {
+            let parsed = api::parse_hazard(body).map_err(bad_request)?;
+            api::hazard_json(&state.snapshots.current(), &parsed).map_err(unprocessable)
+        }),
+        ("POST", "/v1/predict") => with_body(req, |body| {
+            let parsed = api::parse_predict(body).map_err(bad_request)?;
+            api::predict_json(&state.snapshots.current(), &parsed).map_err(unprocessable)
+        }),
+        ("GET", "/v1/influencers") => influencers(req, state),
+        ("POST", "/v1/ingest") => with_body(req, |body| ingest(body, state)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/hazard" | "/v1/predict" | "/v1/influencers"
+            | "/v1/ingest",
+        ) => Response::error(405, format!("method {} not allowed", req.method)),
+        _ => Response::error(404, format!("no such endpoint {}", req.path)),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let snap = state.snapshots.current();
+    Response::json(
+        200,
+        &JsonValue::obj(vec![
+            ("status", JsonValue::from("ok")),
+            ("snapshot_version", JsonValue::from(snap.version)),
+            (
+                "snapshot_published_unix",
+                JsonValue::from(snap.published_unix),
+            ),
+            ("nodes", JsonValue::from(snap.embeddings.node_count())),
+            ("topics", JsonValue::from(snap.embeddings.topic_count())),
+            (
+                "uptime_seconds",
+                JsonValue::from(state.started.elapsed().as_secs_f64()),
+            ),
+            ("ingest_buffered", JsonValue::from(state.ingest.len())),
+        ]),
+    )
+}
+
+fn metrics() -> Response {
+    Response::text(200, obs::metrics().snapshot().render_prometheus())
+}
+
+fn influencers(req: &Request, state: &AppState) -> Response {
+    let top = match parse_query_usize(req, "top", 10) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let topic = match req.query_param("topic") {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(t) => Some(t),
+            Err(_) => return Response::error(400, format!("malformed topic {raw:?}")),
+        },
+    };
+    match api::influencers_json(&state.snapshots.current(), topic, top) {
+        Ok(body) => Response::json(200, &body),
+        Err(message) => Response::error(422, message),
+    }
+}
+
+fn ingest(body: &JsonValue, state: &AppState) -> Result<JsonValue, Response> {
+    let node_count = state.snapshots.current().embeddings.node_count();
+    let batch = api::parse_ingest(body, node_count).map_err(bad_request)?;
+    let receipt = state.ingest.push_batch(batch.cascades);
+    Ok(JsonValue::obj(vec![
+        (
+            "snapshot_version",
+            JsonValue::from(state.snapshots.version()),
+        ),
+        ("accepted", JsonValue::from(receipt.accepted)),
+        ("rejected", JsonValue::from(batch.rejected)),
+        ("dropped", JsonValue::from(receipt.dropped)),
+        ("buffered", JsonValue::from(receipt.buffered)),
+        (
+            "errors",
+            JsonValue::Arr(batch.errors.into_iter().map(JsonValue::from).collect()),
+        ),
+    ]))
+}
+
+/// Decodes a JSON body and runs `handler`, mapping the three failure
+/// layers (UTF-8, JSON syntax, handler) onto status codes.
+fn with_body(
+    req: &Request,
+    handler: impl FnOnce(&JsonValue) -> Result<JsonValue, Response>,
+) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "request body is not valid UTF-8"),
+    };
+    let body = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, format!("malformed JSON body: {e}")),
+    };
+    match handler(&body) {
+        Ok(out) => Response::json(200, &out),
+        Err(resp) => resp,
+    }
+}
+
+fn bad_request(message: String) -> Response {
+    Response::error(400, message)
+}
+
+fn unprocessable(message: String) -> Response {
+    Response::error(422, message)
+}
+
+fn parse_query_usize(req: &Request, name: &str, default: usize) -> Result<usize, Box<Response>> {
+    match req.query_param(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse::<usize>().map_err(|_| {
+            Box::new(Response::error(
+                400,
+                format!("malformed {name} {raw:?} (expected a non-negative integer)"),
+            ))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viralcast_embed::Embeddings;
+
+    fn state() -> AppState {
+        AppState {
+            snapshots: Arc::new(SnapshotStore::new(Embeddings::from_matrices(
+                3,
+                1,
+                vec![1.0, 0.5, 0.0],
+                vec![1.0, 1.0, 1.0],
+            ))),
+            ingest: Arc::new(IngestBuffer::new(4)),
+            started: Instant::now(),
+        }
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (
+                p.to_string(),
+                q.split('&')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect(),
+            ),
+            None => (path.to_string(), Vec::new()),
+        };
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_text(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn healthz_reports_the_model() {
+        let resp = route(&request("GET", "/healthz", ""), &state());
+        assert_eq!(resp.status, 200);
+        let text = body_text(&resp);
+        for needle in [
+            "\"status\":\"ok\"",
+            "\"snapshot_version\":1",
+            "\"nodes\":3",
+            "\"topics\":1",
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn unknown_paths_404_known_paths_405() {
+        assert_eq!(route(&request("GET", "/nope", ""), &state()).status, 404);
+        assert_eq!(
+            route(&request("DELETE", "/healthz", ""), &state()).status,
+            405
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/hazard", ""), &state()).status,
+            405
+        );
+    }
+
+    #[test]
+    fn malformed_json_bodies_400() {
+        let resp = route(&request("POST", "/v1/hazard", "{not json"), &state());
+        assert_eq!(resp.status, 400);
+        assert!(body_text(&resp).contains("malformed JSON body"));
+    }
+
+    #[test]
+    fn out_of_range_nodes_422() {
+        let resp = route(
+            &request("POST", "/v1/hazard", r#"{"pairs":[[0,77]]}"#),
+            &state(),
+        );
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn ingest_reports_receipt_fields() {
+        let s = state();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/ingest",
+                r#"{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}],[{"node":8,"time":0.0}]]}"#,
+            ),
+            &s,
+        );
+        assert_eq!(resp.status, 200);
+        let text = body_text(&resp);
+        for needle in ["\"accepted\":1", "\"rejected\":1", "\"buffered\":1"] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+        assert_eq!(s.ingest.len(), 1);
+    }
+
+    #[test]
+    fn influencers_query_params_are_validated() {
+        let ok = route(&request("GET", "/v1/influencers?top=2", ""), &state());
+        assert_eq!(ok.status, 200);
+        assert!(body_text(&ok).contains("\"influencers\":"));
+        let bad = route(&request("GET", "/v1/influencers?top=x", ""), &state());
+        assert_eq!(bad.status, 400);
+        let oob = route(&request("GET", "/v1/influencers?topic=9", ""), &state());
+        assert_eq!(oob.status, 422);
+    }
+
+    #[test]
+    fn predict_responds_with_version() {
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/predict",
+                r#"{"cascade":[{"node":0,"time":0.0}],"top":2}"#,
+            ),
+            &state(),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("\"snapshot_version\":1"));
+    }
+}

@@ -1,0 +1,357 @@
+//! The daemon: listener, bounded worker pool, and lifecycle handle.
+//!
+//! The acceptor thread polls a non-blocking listener so it can notice
+//! shutdown promptly, and feeds accepted connections into a bounded
+//! channel. When every worker is busy and the channel is full the
+//! acceptor answers 503 directly instead of queueing without bound.
+//! Workers parse one request per connection, dispatch through the
+//! router, and record per-endpoint latency histograms.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use viralcast_embed::Embeddings;
+use viralcast_obs as obs;
+
+use crate::http::{self, HttpError, HttpLimits, Response};
+use crate::ingest::IngestBuffer;
+use crate::router::{self, AppState};
+use crate::snapshot::SnapshotStore;
+use crate::trainer::{self, RetrainFn, TrainerConfig};
+
+/// Latency histogram bounds, in milliseconds.
+const LATENCY_BOUNDS_MS: [f64; 10] = [0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests (≥ 1).
+    pub workers: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Background trainer cadence.
+    pub trainer: TrainerConfig,
+    /// Ingest buffer capacity (cascades).
+    pub ingest_capacity: usize,
+    /// HTTP parsing limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            trainer: TrainerConfig::default(),
+            ingest_capacity: 4096,
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or `request_shutdown` + `join`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    snapshots: Arc<SnapshotStore>,
+    ingest: Arc<IngestBuffer>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The snapshot store the daemon serves from.
+    pub fn snapshots(&self) -> Arc<SnapshotStore> {
+        Arc::clone(&self.snapshots)
+    }
+
+    /// The ingest buffer feeding the trainer.
+    pub fn ingest(&self) -> Arc<IngestBuffer> {
+        Arc::clone(&self.ingest)
+    }
+
+    /// Asks every thread to wind down (returns immediately).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for all threads to exit. Call after `request_shutdown`.
+    pub fn join(mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful stop: request shutdown, then join.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Binds the listener and spawns acceptor, workers, and trainer.
+///
+/// `retrain` is invoked by the trainer with the current embeddings and a
+/// fresh cascade batch; pass `viralcast::update_embeddings` wrapped in a
+/// closure (see the `serve` subcommand) or any stand-in.
+pub fn start(
+    embeddings: Embeddings,
+    retrain: RetrainFn,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let snapshots = Arc::new(SnapshotStore::new(embeddings));
+    let ingest = Arc::new(IngestBuffer::new(config.ingest_capacity));
+    let state = Arc::new(AppState {
+        snapshots: Arc::clone(&snapshots),
+        ingest: Arc::clone(&ingest),
+        started: Instant::now(),
+    });
+
+    let workers = config.workers.max(1);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 4);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(workers + 2);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let limits = config.limits;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("viralcast-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &state, &limits))?,
+        );
+    }
+
+    threads.push(trainer::spawn(
+        Arc::clone(&snapshots),
+        Arc::clone(&ingest),
+        retrain,
+        config.trainer,
+        Arc::clone(&shutdown),
+    ));
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        threads.push(
+            std::thread::Builder::new()
+                .name("viralcast-acceptor".into())
+                .spawn(move || {
+                    accept_loop(&listener, &tx, &shutdown, read_timeout, write_timeout);
+                    // `tx` drops here; workers unblock from `recv` and exit.
+                })?,
+        );
+    }
+
+    obs::info(
+        "serve",
+        &format!("listening on {addr} with {workers} workers"),
+        &[],
+    );
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        snapshots,
+        ingest,
+        threads,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &mpsc::SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(e) => {
+                obs::warn("serve", &format!("accept failed: {e}"), &[]);
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        // The listener is non-blocking; per-connection I/O must not be.
+        if stream.set_nonblocking(false).is_err()
+            || stream.set_read_timeout(Some(read_timeout)).is_err()
+            || stream.set_write_timeout(Some(write_timeout)).is_err()
+        {
+            continue;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                obs::metrics().counter("serve.http.overload").incr(1);
+                let _ =
+                    Response::error(503, "server overloaded; retry later").write_to(&mut stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState, limits: &HttpLimits) {
+    loop {
+        // Take the lock only to dequeue; handling runs unlocked so slow
+        // clients don't serialise the pool.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match next {
+            Ok(mut stream) => handle_connection(&mut stream, state, limits),
+            Err(_) => break, // acceptor gone: shutdown
+        }
+    }
+}
+
+/// Reads one request, routes it, writes the response, records metrics.
+fn handle_connection(stream: &mut TcpStream, state: &AppState, limits: &HttpLimits) {
+    let started = Instant::now();
+    obs::metrics().counter("serve.http.requests").incr(1);
+    let response = match http::read_request(stream, limits) {
+        Ok(req) => {
+            let response = router::route(&req, state);
+            let label = router::endpoint_label(&req.path);
+            obs::metrics()
+                .histogram(
+                    &format!("serve.http.latency_ms.{label}"),
+                    &LATENCY_BOUNDS_MS,
+                )
+                .record(started.elapsed().as_secs_f64() * 1e3);
+            response
+        }
+        Err(HttpError::BadRequest(m)) => Response::error(400, m),
+        Err(HttpError::HeadTooLarge(limit)) => {
+            Response::error(431, format!("request head exceeds {limit} bytes"))
+        }
+        Err(HttpError::BodyTooLarge(limit)) => {
+            Response::error(413, format!("request body exceeds {limit} bytes"))
+        }
+        // Nothing sensible to answer on a dead transport.
+        Err(HttpError::Io(_)) | Err(HttpError::ConnectionClosed) => return,
+    };
+    if response.status >= 400 {
+        obs::metrics().counter("serve.http.errors").incr(1);
+    }
+    let _ = response.write_to(stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            trainer: TrainerConfig {
+                interval: Duration::from_millis(20),
+                min_batch: 1,
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    fn embeddings() -> Embeddings {
+        Embeddings::from_matrices(3, 1, vec![1.0, 0.5, 0.0], vec![1.0, 1.0, 1.0])
+    }
+
+    fn identity_retrain() -> RetrainFn {
+        Box::new(|emb, _| Ok(emb.clone()))
+    }
+
+    #[test]
+    fn serves_requests_and_shuts_down_cleanly() {
+        let handle = start(embeddings(), identity_retrain(), config()).unwrap();
+        let addr = handle.local_addr();
+
+        let resp = client::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"status\":\"ok\""), "{}", resp.body);
+
+        let resp = client::request(
+            &addr,
+            "POST",
+            "/v1/hazard",
+            Some(r#"{"pairs":[[0,1]],"dt":1.0}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"rate\":"), "{}", resp.body);
+
+        let resp = client::request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(resp.status, 404);
+
+        handle.shutdown();
+        // The port is released once the acceptor exits.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn ingest_triggers_a_background_retrain() {
+        let handle = start(embeddings(), identity_retrain(), config()).unwrap();
+        let addr = handle.local_addr();
+        let resp = client::request(
+            &addr,
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"accepted\":1"), "{}", resp.body);
+
+        let snapshots = handle.snapshots();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while snapshots.version() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(snapshots.version() >= 2, "trainer never published");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_http_errors() {
+        use std::io::{Read, Write};
+        let handle = start(embeddings(), identity_retrain(), config()).unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,201 @@
+//! The background incremental-retraining thread.
+//!
+//! Every `interval`, the trainer drains the ingest buffer and — when the
+//! batch is big enough — hands the fresh cascades plus the *current*
+//! snapshot's embeddings to the injected retrain function (the CLI wires
+//! `viralcast::update_embeddings` here; tests inject stubs). A successful
+//! retrain publishes the next snapshot version; request threads keep
+//! serving the old `Arc` throughout, so readers never block on training.
+//!
+//! The retrain function is injected rather than imported to keep this
+//! crate independent of the `viralcast` facade (which depends on this
+//! crate's consumers).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use viralcast_embed::Embeddings;
+use viralcast_obs::{self as obs, warn};
+use viralcast_propagation::{Cascade, CascadeSet};
+
+use crate::ingest::IngestBuffer;
+use crate::snapshot::SnapshotStore;
+
+/// Warm-start retraining: `(current embeddings, fresh cascades) → new
+/// embeddings`. The cascade set's universe matches the embeddings' rows.
+pub type RetrainFn = Box<dyn Fn(&Embeddings, &CascadeSet) -> Result<Embeddings, String> + Send>;
+
+/// Trainer cadence knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainerConfig {
+    /// How often to check the buffer and retrain.
+    pub interval: Duration,
+    /// Minimum buffered cascades before a retrain fires (≥ 1).
+    pub min_batch: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            interval: Duration::from_secs(5),
+            min_batch: 1,
+        }
+    }
+}
+
+/// Spawns the trainer thread; it exits promptly once `shutdown` is set.
+pub fn spawn(
+    store: Arc<SnapshotStore>,
+    buffer: Arc<IngestBuffer>,
+    retrain: RetrainFn,
+    config: TrainerConfig,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("viralcast-trainer".into())
+        .spawn(move || run(store, buffer, retrain, config, shutdown))
+        .expect("spawning the trainer thread")
+}
+
+fn run(
+    store: Arc<SnapshotStore>,
+    buffer: Arc<IngestBuffer>,
+    retrain: RetrainFn,
+    config: TrainerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let min_batch = config.min_batch.max(1);
+    let tick = Duration::from_millis(10).min(config.interval.max(Duration::from_millis(1)));
+    let mut last_attempt = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        if last_attempt.elapsed() < config.interval {
+            continue;
+        }
+        last_attempt = Instant::now();
+        if buffer.len() < min_batch {
+            continue;
+        }
+        retrain_once(&store, buffer.drain(), &retrain);
+    }
+}
+
+/// One retrain attempt over a drained batch (no-op on an empty batch).
+fn retrain_once(store: &SnapshotStore, batch: Vec<Cascade>, retrain: &RetrainFn) {
+    if batch.is_empty() {
+        return;
+    }
+    let snap = store.current();
+    let count = batch.len();
+    let fresh = CascadeSet::new(snap.embeddings.node_count(), batch);
+    let started = Instant::now();
+    match retrain(&snap.embeddings, &fresh) {
+        Ok(embeddings) => {
+            let seconds = started.elapsed().as_secs_f64();
+            let version = store.publish(embeddings);
+            obs::metrics().counter("serve.retrain.runs").incr(1);
+            obs::metrics()
+                .counter("serve.retrain.cascades")
+                .incr(count as u64);
+            obs::metrics()
+                .histogram(
+                    "serve.retrain.seconds",
+                    &[0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0],
+                )
+                .record(seconds);
+            obs::info(
+                "serve.retrain",
+                &format!("published snapshot v{version} from {count} cascades in {seconds:.2}s"),
+                &[],
+            );
+        }
+        Err(message) => {
+            obs::metrics().counter("serve.retrain.errors").incr(1);
+            warn(
+                "serve.retrain",
+                &format!("retrain over {count} cascades failed: {message}"),
+                &[],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viralcast_propagation::Infection;
+
+    fn embeddings() -> Embeddings {
+        Embeddings::from_matrices(4, 1, vec![0.1; 4], vec![0.1; 4])
+    }
+
+    fn cascade() -> Cascade {
+        Cascade::new(vec![Infection::new(0u32, 0.0), Infection::new(1u32, 0.3)]).unwrap()
+    }
+
+    #[test]
+    fn drained_batch_publishes_a_new_version() {
+        let store = SnapshotStore::new(embeddings());
+        // A retrain that bumps every influence entry by 1 and records the
+        // batch size it saw.
+        let retrain: RetrainFn = Box::new(|emb, fresh| {
+            assert_eq!(fresh.node_count(), 4);
+            assert_eq!(fresh.len(), 2);
+            let a: Vec<f64> = emb.influence_matrix().iter().map(|x| x + 1.0).collect();
+            Ok(Embeddings::from_matrices(
+                emb.node_count(),
+                emb.topic_count(),
+                a,
+                emb.selectivity_matrix().to_vec(),
+            ))
+        });
+        retrain_once(&store, vec![cascade(), cascade()], &retrain);
+        let snap = store.current();
+        assert_eq!(snap.version, 2);
+        assert!((snap.embeddings.influence_matrix()[0] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_retrain_keeps_the_old_snapshot() {
+        let store = SnapshotStore::new(embeddings());
+        let retrain: RetrainFn = Box::new(|_, _| Err("synthetic failure".into()));
+        retrain_once(&store, vec![cascade()], &retrain);
+        assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let store = SnapshotStore::new(embeddings());
+        let retrain: RetrainFn = Box::new(|_, _| panic!("must not be called"));
+        retrain_once(&store, Vec::new(), &retrain);
+        assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn trainer_thread_drains_and_shuts_down() {
+        let store = Arc::new(SnapshotStore::new(embeddings()));
+        let buffer = Arc::new(IngestBuffer::new(16));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
+        let handle = spawn(
+            Arc::clone(&store),
+            Arc::clone(&buffer),
+            retrain,
+            TrainerConfig {
+                interval: Duration::from_millis(20),
+                min_batch: 1,
+            },
+            Arc::clone(&shutdown),
+        );
+        buffer.push_batch(vec![cascade()]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.version() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(store.version() >= 2, "trainer never published");
+        assert!(buffer.is_empty());
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+}

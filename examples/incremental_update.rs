@@ -50,7 +50,7 @@ fn main() {
     let base_secs = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
-    let updated = update_embeddings(&base.embeddings, &fresh, &options);
+    let updated = update_embeddings(&base.embeddings, &fresh, &options).expect("universes match");
     let update_secs = t1.elapsed().as_secs_f64();
     println!(
         "initial fit {base_secs:.2}s over {} cascades; incremental update {update_secs:.2}s over {}",

@@ -21,12 +21,82 @@ run() {
     "$@"
 }
 
+# Boots the released daemon against a tiny fixture model on a random
+# port, polls /healthz, scrapes /metrics, and asserts a clean SIGINT
+# shutdown (exit 0).
+smoke_serve() {
+    local tmp fixture log pid port health metrics
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    fixture="$tmp/embeddings.json"
+    log="$tmp/serve.log"
+    printf '%s' '{"format":"viralcast-embeddings-v1","n":3,"k":2,"a":[0.5,0.1,0.2,0.6,0.3,0.3],"b":[0.4,0.2,0.1,0.5,0.2,0.4]}' >"$fixture"
+
+    target/release/viralcast serve --embeddings "$fixture" \
+        --addr 127.0.0.1:0 --workers 2 >"$log" 2>&1 &
+    pid=$!
+
+    # The daemon picks an ephemeral port and reports it on stdout.
+    port=""
+    for _ in $(seq 1 100); do
+        port="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$log")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "daemon never reported its port" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    http_get() {
+        exec 3<>"/dev/tcp/127.0.0.1/$1"
+        printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$2" >&3
+        cat <&3
+        exec 3>&- 3<&-
+    }
+
+    health=""
+    for _ in $(seq 1 50); do
+        health="$(http_get "$port" /healthz 2>/dev/null || true)"
+        case "$health" in *'"status":"ok"'*) break ;; esac
+        sleep 0.1
+    done
+    case "$health" in
+        *'"status":"ok"'*) ;;
+        *)
+            echo "healthz never became ok" >&2
+            cat "$log" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+
+    metrics="$(http_get "$port" /metrics)"
+    case "$metrics" in
+        *serve_snapshot_version*) ;;
+        *)
+            echo "/metrics is missing serve_snapshot_version" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+
+    kill -INT "$pid"
+    wait "$pid" # a clean shutdown exits 0; set -e fails the sweep otherwise
+    echo "serve smoke test OK (port $port)"
+}
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$build" -eq 1 ]; then
     run cargo build --release
 fi
 run cargo test -q
+if [ "$build" -eq 1 ]; then
+    run smoke_serve
+fi
 
 echo
 echo "CI OK"
