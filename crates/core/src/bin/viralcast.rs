@@ -137,7 +137,9 @@ USAGE:
   viralcast influencers    --embeddings FILE [--top K]
   viralcast serve          --embeddings FILE [--addr HOST:PORT] [--workers N]
                            [--retrain-interval SECS] [--min-retrain-batch N]
-                           [--ingest-capacity N]
+                           [--ingest-capacity N] [--data-dir DIR]
+                           [--fsync always|interval[:MS]|rotate]
+                           [--segment-bytes N]
 
 SERVE:
   Runs the online prediction daemon: GET /healthz, GET /metrics,
@@ -146,6 +148,13 @@ SERVE:
   --retrain-interval seconds (default 5) once --min-retrain-batch
   cascades (default 1) are buffered, atomically publishing a new model
   snapshot. Stop with ctrl-c (SIGINT) or SIGTERM.
+
+  With --data-dir DIR the daemon is durable: every acked ingest is
+  write-ahead-logged before the response, each published snapshot is
+  checkpointed atomically, and a restart replays the log so no acked
+  cascade is lost. --fsync picks the durability/latency trade-off
+  (default always); --segment-bytes sets the log rotation size
+  (default 8388608).
 
 OBSERVABILITY (all commands):
   --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
@@ -201,6 +210,9 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("retrain-interval", true),
             ("min-retrain-batch", true),
             ("ingest-capacity", true),
+            ("data-dir", true),
+            ("fsync", true),
+            ("segment-bytes", true),
         ],
         _ => return None,
     };
@@ -453,6 +465,22 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
              (got {retrain_interval})"
         )));
     }
+    let data_dir = flags.opt_path("data-dir");
+    let wal_defaults = viralcast::store::WalOptions::default();
+    let fsync = match flags.get("fsync") {
+        Some(raw) => viralcast::store::FsyncPolicy::parse(raw)
+            .map_err(|e| usage_err(format!("--fsync: {e}")))?,
+        None => wal_defaults.fsync,
+    };
+    let segment_bytes = flags.u64("segment-bytes", wal_defaults.segment_bytes)?;
+    if segment_bytes == 0 {
+        return Err(usage_err("--segment-bytes must be positive"));
+    }
+    if data_dir.is_none() && (flags.has("fsync") || flags.has("segment-bytes")) {
+        return Err(usage_err(
+            "--fsync/--segment-bytes tune the durable log; pass --data-dir DIR to enable it",
+        ));
+    }
 
     let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
     let (nodes, topics) = (embeddings.node_count(), embeddings.topic_count());
@@ -477,11 +505,32 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
             min_batch,
         },
         ingest_capacity,
+        data_dir: data_dir.clone(),
+        wal: viralcast::store::WalOptions {
+            segment_bytes,
+            fsync,
+        },
         ..serve::ServeConfig::default()
     };
     let handle = serve::start(embeddings, retrain, config).map_err(runtime_err)?;
     let bound = handle.local_addr();
     println!("viralcast-serve listening on http://{bound} ({nodes} nodes × {topics} topics)");
+    let recovery = handle.recovery();
+    if let (Some(dir), Some(r)) = (&data_dir, &recovery) {
+        println!(
+            "durable in {}: replayed {} WAL record(s), {} pending for retraining, \
+             resuming snapshot v{}{}",
+            dir.display(),
+            r.replayed,
+            r.pending,
+            r.snapshot_version,
+            if r.truncated_bytes > 0 {
+                format!(" ({} torn byte(s) truncated)", r.truncated_bytes)
+            } else {
+                String::new()
+            },
+        );
+    }
     println!("press ctrl-c to stop");
 
     let shutdown = serve::install_ctrlc();
@@ -492,12 +541,17 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let final_version = handle.snapshots().version();
     handle.shutdown();
     println!("stopped at snapshot v{final_version}");
-    Ok(vec![
+    let mut attrs: Attrs = vec![
         ("addr".into(), bound.to_string().into()),
         ("nodes".into(), nodes.into()),
         ("topics".into(), topics.into()),
         ("final_snapshot_version".into(), final_version.into()),
-    ])
+    ];
+    if let Some(r) = recovery {
+        attrs.push(("replayed_records".into(), r.replayed.into()));
+        attrs.push(("recovered_pending".into(), r.pending.into()));
+    }
+    Ok(attrs)
 }
 
 fn load_corpus(path: &Path) -> Result<CascadeSet, String> {

@@ -68,3 +68,4 @@ pub use viralcast_obs as obs;
 pub use viralcast_predict as predict;
 pub use viralcast_propagation as propagation;
 pub use viralcast_serve as serve;
+pub use viralcast_store as store;

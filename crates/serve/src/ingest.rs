@@ -80,6 +80,21 @@ impl IngestBuffer {
         receipt
     }
 
+    /// Appends a batch **ignoring the capacity bound** — boot-time
+    /// replay of the durable log only. Shedding here would silently
+    /// drop events the daemon already acked in a previous life; the
+    /// buffer may transiently exceed its capacity until the trainer's
+    /// next drain instead.
+    pub fn preload(&self, cascades: Vec<Cascade>) {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.extend(cascades);
+        let depth = queue.len();
+        drop(queue);
+        obs::metrics()
+            .gauge("serve.ingest.buffered")
+            .set(depth as f64);
+    }
+
     /// Removes and returns everything buffered (FIFO order).
     pub fn drain(&self) -> Vec<Cascade> {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -137,6 +152,16 @@ mod tests {
         assert_eq!(drained[1].seed().node.0, 5);
         assert!(buf.is_empty());
         assert!(buf.drain().is_empty());
+    }
+
+    #[test]
+    fn preload_bypasses_the_capacity_bound() {
+        let buf = IngestBuffer::new(2);
+        buf.preload(vec![cascade(0), cascade(2), cascade(4), cascade(6)]);
+        assert_eq!(buf.len(), 4);
+        // Over-capacity state drains normally and new pushes shed.
+        assert_eq!(buf.push_batch(vec![cascade(8)]).dropped, 1);
+        assert_eq!(buf.drain().len(), 4);
     }
 
     #[test]

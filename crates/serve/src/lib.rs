@@ -39,7 +39,12 @@ pub mod trainer;
 
 pub use http::{HttpLimits, Request, Response};
 pub use ingest::{IngestBuffer, IngestReceipt};
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{start, BootRecovery, ServeConfig, ServerHandle};
 pub use signal::install_ctrlc;
 pub use snapshot::{ModelSnapshot, SnapshotStore};
 pub use trainer::{RetrainFn, TrainerConfig};
+
+/// The durability layer (`viralcast-store`), re-exported so callers
+/// configuring `--data-dir` serving reach [`store::FsyncPolicy`] and
+/// [`store::WalOptions`] without a separate dependency.
+pub use viralcast_store as store;

@@ -1,8 +1,9 @@
 //! Endpoint dispatch: parsed request → response, no sockets involved.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use viralcast_obs::{self as obs, JsonValue};
+use viralcast_store::EventStore;
 
 use crate::api;
 use crate::http::{Request, Response};
@@ -16,6 +17,13 @@ pub struct AppState {
     pub snapshots: Arc<SnapshotStore>,
     /// The trainer's input buffer.
     pub ingest: Arc<IngestBuffer>,
+    /// The durable write-ahead log, when the daemon runs with a data
+    /// directory. Ingests append here (and commit under the fsync
+    /// policy) **before** acking, so a crash after the response cannot
+    /// lose the batch.
+    pub store: Option<Arc<Mutex<EventStore>>>,
+    /// `retry_after_ms` hint returned with load-shed (429) responses.
+    pub shed_retry_after_ms: u64,
     /// Daemon start time (for `/healthz` uptime).
     pub started: Instant,
 }
@@ -104,7 +112,33 @@ fn influencers(req: &Request, state: &AppState) -> Response {
 fn ingest(body: &JsonValue, state: &AppState) -> Result<JsonValue, Response> {
     let node_count = state.snapshots.current().embeddings.node_count();
     let batch = api::parse_ingest(body, node_count).map_err(bad_request)?;
-    let receipt = state.ingest.push_batch(batch.cascades);
+    let receipt = match &state.store {
+        // Durable path: WAL append + buffer push happen atomically
+        // under the store lock (the trainer drains under the same
+        // lock), so a checkpoint offset can never cover an event that
+        // is neither trained nor buffered. Only the cascades the
+        // bounded buffer will admit are logged — shed events are
+        // refused, not silently persisted.
+        Some(store) => {
+            let mut guard = store.lock().unwrap_or_else(|e| e.into_inner());
+            let room = state
+                .ingest
+                .capacity()
+                .saturating_sub(state.ingest.len())
+                .min(batch.cascades.len());
+            if room > 0 {
+                guard.append_batch(&batch.cascades[..room]).map_err(|e| {
+                    obs::metrics().counter("store.wal.errors").incr(1);
+                    Response::error(500, format!("write-ahead log append failed: {e}"))
+                })?;
+            }
+            state.ingest.push_batch(batch.cascades)
+        }
+        None => state.ingest.push_batch(batch.cascades),
+    };
+    if receipt.dropped > 0 {
+        return Err(shed_response(state, &receipt, batch.rejected));
+    }
     Ok(JsonValue::obj(vec![
         (
             "snapshot_version",
@@ -119,6 +153,41 @@ fn ingest(body: &JsonValue, state: &AppState) -> Result<JsonValue, Response> {
             JsonValue::Arr(batch.errors.into_iter().map(JsonValue::from).collect()),
         ),
     ]))
+}
+
+/// The structured 429 a load-shed ingest gets: what was still admitted,
+/// what was shed, and when retrying is worthwhile (after the trainer's
+/// next drain, roughly one retrain interval away).
+fn shed_response(
+    state: &AppState,
+    receipt: &crate::ingest::IngestReceipt,
+    rejected: usize,
+) -> Response {
+    obs::metrics()
+        .counter("serve.ingest.shed_total")
+        .incr(receipt.dropped as u64);
+    Response::json(
+        429,
+        &JsonValue::obj(vec![
+            (
+                "error",
+                JsonValue::from(format!(
+                    "ingest buffer full: shed {} of {} cascades",
+                    receipt.dropped,
+                    receipt.accepted + receipt.dropped
+                )),
+            ),
+            ("retry_after_ms", JsonValue::from(state.shed_retry_after_ms)),
+            ("accepted", JsonValue::from(receipt.accepted)),
+            ("rejected", JsonValue::from(rejected)),
+            ("dropped", JsonValue::from(receipt.dropped)),
+            ("buffered", JsonValue::from(receipt.buffered)),
+            (
+                "snapshot_version",
+                JsonValue::from(state.snapshots.version()),
+            ),
+        ]),
+    )
 }
 
 /// Decodes a JSON body and runs `handler`, mapping the three failure
@@ -167,6 +236,10 @@ mod tests {
     use viralcast_embed::Embeddings;
 
     fn state() -> AppState {
+        state_with_capacity(4)
+    }
+
+    fn state_with_capacity(capacity: usize) -> AppState {
         AppState {
             snapshots: Arc::new(SnapshotStore::new(Embeddings::from_matrices(
                 3,
@@ -174,7 +247,9 @@ mod tests {
                 vec![1.0, 0.5, 0.0],
                 vec![1.0, 1.0, 1.0],
             ))),
-            ingest: Arc::new(IngestBuffer::new(4)),
+            ingest: Arc::new(IngestBuffer::new(capacity)),
+            store: None,
+            shed_retry_after_ms: 1234,
             started: Instant::now(),
         }
     }
@@ -266,6 +341,58 @@ mod tests {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }
         assert_eq!(s.ingest.len(), 1);
+    }
+
+    #[test]
+    fn overflowing_ingest_sheds_with_a_structured_429() {
+        let s = state_with_capacity(1);
+        let body = r#"{"cascades":[
+            [{"node":0,"time":0.0},{"node":1,"time":1.0}],
+            [{"node":1,"time":0.0},{"node":2,"time":1.0}]
+        ]}"#;
+        let resp = route(&request("POST", "/v1/ingest", body), &s);
+        assert_eq!(resp.status, 429);
+        let text = body_text(&resp);
+        for needle in [
+            "\"error\":\"ingest buffer full: shed 1 of 2 cascades\"",
+            "\"retry_after_ms\":1234",
+            "\"accepted\":1",
+            "\"dropped\":1",
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+        // The admitted cascade stays buffered; the shed counter is
+        // exported through the Prometheus rendering of /metrics.
+        assert_eq!(s.ingest.len(), 1);
+        let metrics = obs::metrics().snapshot().render_prometheus();
+        assert!(
+            metrics.contains("serve_ingest_shed_total"),
+            "shed counter missing from {metrics}"
+        );
+    }
+
+    #[test]
+    fn durable_ingest_appends_to_the_wal_before_acking() {
+        let dir = std::env::temp_dir().join(format!("viralcast-router-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (es, _) = EventStore::open(&dir, viralcast_store::WalOptions::default()).unwrap();
+        let mut s = state_with_capacity(1);
+        s.store = Some(Arc::new(Mutex::new(es)));
+        // Two cascades, room for one: the admitted one is logged, the
+        // shed one is neither acked nor persisted.
+        let body = r#"{"cascades":[
+            [{"node":0,"time":0.0},{"node":1,"time":1.0}],
+            [{"node":1,"time":0.0},{"node":2,"time":1.0}]
+        ]}"#;
+        let resp = route(&request("POST", "/v1/ingest", body), &s);
+        assert_eq!(resp.status, 429);
+        let next = s.store.as_ref().unwrap().lock().unwrap().next_index();
+        assert_eq!(next, 1, "exactly the admitted cascade reaches the WAL");
+        drop(s);
+        let (_, recovery) = EventStore::open(&dir, viralcast_store::WalOptions::default()).unwrap();
+        assert_eq!(recovery.pending.len(), 1);
+        assert_eq!(recovery.pending[0].seed().node.0, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

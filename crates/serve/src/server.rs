@@ -9,6 +9,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -16,6 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viralcast_embed::Embeddings;
 use viralcast_obs as obs;
+use viralcast_store::{EventStore, WalOptions};
 
 use crate::http::{self, HttpError, HttpLimits, Response};
 use crate::ingest::IngestBuffer;
@@ -46,6 +48,13 @@ pub struct ServeConfig {
     pub ingest_capacity: usize,
     /// HTTP parsing limits.
     pub limits: HttpLimits,
+    /// Data directory for the durable event store. `None` (the
+    /// default) serves purely in memory; `Some` write-ahead-logs every
+    /// acked ingest, checkpoints each published snapshot, and recovers
+    /// both at boot.
+    pub data_dir: Option<PathBuf>,
+    /// WAL tuning (segment size, fsync policy) when `data_dir` is set.
+    pub wal: WalOptions,
 }
 
 impl Default for ServeConfig {
@@ -58,8 +67,23 @@ impl Default for ServeConfig {
             trainer: TrainerConfig::default(),
             ingest_capacity: 4096,
             limits: HttpLimits::default(),
+            data_dir: None,
+            wal: WalOptions::default(),
         }
     }
+}
+
+/// What a durable boot recovered from its data directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BootRecovery {
+    /// Intact WAL records replayed (checkpointed or pending).
+    pub replayed: usize,
+    /// Acked-but-untrained events fed back into the ingest buffer.
+    pub pending: usize,
+    /// Bytes truncated from a torn final WAL segment.
+    pub truncated_bytes: u64,
+    /// Snapshot version the daemon resumed at (1 on a cold start).
+    pub snapshot_version: u64,
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -69,6 +93,8 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     snapshots: Arc<SnapshotStore>,
     ingest: Arc<IngestBuffer>,
+    event_store: Option<Arc<Mutex<EventStore>>>,
+    recovery: Option<BootRecovery>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -86,6 +112,16 @@ impl ServerHandle {
     /// The ingest buffer feeding the trainer.
     pub fn ingest(&self) -> Arc<IngestBuffer> {
         Arc::clone(&self.ingest)
+    }
+
+    /// The durable event store, when booted with a data directory.
+    pub fn event_store(&self) -> Option<Arc<Mutex<EventStore>>> {
+        self.event_store.clone()
+    }
+
+    /// What boot recovered from the data directory (`None` without one).
+    pub fn recovery(&self) -> Option<BootRecovery> {
+        self.recovery
     }
 
     /// Asks every thread to wind down (returns immediately).
@@ -117,16 +153,64 @@ pub fn start(
     retrain: RetrainFn,
     config: ServeConfig,
 ) -> io::Result<ServerHandle> {
+    // Recover the durable state first: if the data directory holds a
+    // checkpoint, it supersedes the passed-in embeddings (same lineage,
+    // same version), and every acked-but-untrained event in the WAL is
+    // fed back to the trainer before the listener accepts traffic.
+    let mut boot_embeddings = embeddings;
+    let mut boot_version = 1u64;
+    let mut pending = Vec::new();
+    let mut recovery_summary = None;
+    let event_store = match &config.data_dir {
+        Some(dir) => {
+            let (es, recovery) = EventStore::open(dir, config.wal)?;
+            boot_version = recovery.snapshot_version();
+            if let Some(emb) = recovery.embeddings {
+                boot_embeddings = emb;
+            }
+            recovery_summary = Some(BootRecovery {
+                replayed: recovery.replayed,
+                pending: recovery.pending.len(),
+                truncated_bytes: recovery.truncated_bytes,
+                snapshot_version: boot_version,
+            });
+            pending = recovery.pending;
+            obs::info(
+                "serve",
+                &format!(
+                    "recovered {} from {}: {} pending event(s), snapshot v{boot_version}",
+                    if recovery.manifest.is_some() {
+                        "checkpoint + WAL"
+                    } else {
+                        "WAL"
+                    },
+                    dir.display(),
+                    pending.len(),
+                ),
+                &[],
+            );
+            Some(Arc::new(Mutex::new(es)))
+        }
+        None => None,
+    };
+
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
-    let snapshots = Arc::new(SnapshotStore::new(embeddings));
+    let snapshots = Arc::new(SnapshotStore::with_version(boot_embeddings, boot_version));
     let ingest = Arc::new(IngestBuffer::new(config.ingest_capacity));
+    if !pending.is_empty() {
+        // Preload bypasses the capacity bound: these events were acked
+        // in a previous life and must not be shed.
+        ingest.preload(pending);
+    }
     let state = Arc::new(AppState {
         snapshots: Arc::clone(&snapshots),
         ingest: Arc::clone(&ingest),
+        store: event_store.clone(),
+        shed_retry_after_ms: config.trainer.interval.as_millis().max(1) as u64,
         started: Instant::now(),
     });
 
@@ -149,6 +233,7 @@ pub fn start(
     threads.push(trainer::spawn(
         Arc::clone(&snapshots),
         Arc::clone(&ingest),
+        event_store.clone(),
         retrain,
         config.trainer,
         Arc::clone(&shutdown),
@@ -178,6 +263,8 @@ pub fn start(
         shutdown,
         snapshots,
         ingest,
+        event_store,
+        recovery: recovery_summary,
         threads,
     })
 }
@@ -341,6 +428,46 @@ mod tests {
         }
         assert!(snapshots.version() >= 2, "trainer never published");
         handle.shutdown();
+    }
+
+    #[test]
+    fn durable_boot_recovers_acked_ingests() {
+        let dir =
+            std::env::temp_dir().join(format!("viralcast-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = config();
+        cfg.data_dir = Some(dir.clone());
+        // The trainer never fires: everything acked stays in the WAL.
+        cfg.trainer.interval = Duration::from_secs(3600);
+
+        let handle = start(embeddings(), identity_retrain(), cfg.clone()).unwrap();
+        assert_eq!(
+            handle.recovery(),
+            Some(BootRecovery {
+                snapshot_version: 1,
+                ..BootRecovery::default()
+            })
+        );
+        let resp = client::request(
+            &handle.local_addr(),
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        handle.shutdown();
+
+        // Restart on the same directory: the acked event is back in the
+        // trainer's queue, same snapshot lineage.
+        let handle = start(embeddings(), identity_retrain(), cfg).unwrap();
+        let recovery = handle.recovery().expect("durable boot reports recovery");
+        assert_eq!(recovery.replayed, 1);
+        assert_eq!(recovery.pending, 1);
+        assert_eq!(recovery.snapshot_version, 1);
+        assert_eq!(handle.ingest().len(), 1);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

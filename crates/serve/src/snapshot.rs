@@ -45,10 +45,18 @@ fn set_version_gauge(version: u64) {
 impl SnapshotStore {
     /// A store whose first snapshot (version 1) wraps `embeddings`.
     pub fn new(embeddings: Embeddings) -> Self {
-        set_version_gauge(1);
+        Self::with_version(embeddings, 1)
+    }
+
+    /// A store whose first snapshot resumes a recovered lineage at
+    /// `version` (clamped to ≥ 1) — used when booting from a durable
+    /// checkpoint so versions stay monotone across restarts.
+    pub fn with_version(embeddings: Embeddings, version: u64) -> Self {
+        let version = version.max(1);
+        set_version_gauge(version);
         SnapshotStore {
             current: RwLock::new(Arc::new(ModelSnapshot {
-                version: 1,
+                version,
                 embeddings,
                 published_unix: unix_now(),
             })),
@@ -97,6 +105,15 @@ mod tests {
         let store = SnapshotStore::new(emb(0.5));
         assert_eq!(store.version(), 1);
         assert_eq!(store.current().version, 1);
+    }
+
+    #[test]
+    fn recovered_lineage_resumes_at_its_version() {
+        let store = SnapshotStore::with_version(emb(0.5), 7);
+        assert_eq!(store.version(), 7);
+        assert_eq!(store.publish(emb(0.6)), 8);
+        // Version 0 is not a publishable lineage; clamp to the floor.
+        assert_eq!(SnapshotStore::with_version(emb(0.5), 0).version(), 1);
     }
 
     #[test]

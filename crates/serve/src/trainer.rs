@@ -7,17 +7,27 @@
 //! retrain publishes the next snapshot version; request threads keep
 //! serving the old `Arc` throughout, so readers never block on training.
 //!
+//! With a durable [`EventStore`] attached, the drain happens under the
+//! store lock so the WAL offset read alongside it provably covers
+//! exactly the drained-or-already-trained records (the ingest path
+//! appends to the WAL and pushes to the buffer under the same lock).
+//! After a successful publish the trainer checkpoints: the new
+//! embeddings land atomically next to a manifest recording the snapshot
+//! version and that offset, and fully covered WAL segments are
+//! compacted away.
+//!
 //! The retrain function is injected rather than imported to keep this
 //! crate independent of the `viralcast` facade (which depends on this
 //! crate's consumers).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viralcast_embed::Embeddings;
 use viralcast_obs::{self as obs, warn};
 use viralcast_propagation::{Cascade, CascadeSet};
+use viralcast_store::EventStore;
 
 use crate::ingest::IngestBuffer;
 use crate::snapshot::SnapshotStore;
@@ -48,19 +58,21 @@ impl Default for TrainerConfig {
 pub fn spawn(
     store: Arc<SnapshotStore>,
     buffer: Arc<IngestBuffer>,
+    event_store: Option<Arc<Mutex<EventStore>>>,
     retrain: RetrainFn,
     config: TrainerConfig,
     shutdown: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("viralcast-trainer".into())
-        .spawn(move || run(store, buffer, retrain, config, shutdown))
+        .spawn(move || run(store, buffer, event_store, retrain, config, shutdown))
         .expect("spawning the trainer thread")
 }
 
 fn run(
     store: Arc<SnapshotStore>,
     buffer: Arc<IngestBuffer>,
+    event_store: Option<Arc<Mutex<EventStore>>>,
     retrain: RetrainFn,
     config: TrainerConfig,
     shutdown: Arc<AtomicBool>,
@@ -77,12 +89,32 @@ fn run(
         if buffer.len() < min_batch {
             continue;
         }
-        retrain_once(&store, buffer.drain(), &retrain);
+        // Drain under the event-store lock: the ingest path appends to
+        // the WAL and pushes to the buffer atomically under the same
+        // lock, so `next_index` read here covers exactly the records
+        // drained now or in earlier ticks — the offset a checkpoint
+        // after this batch may safely claim.
+        let (batch, covered) = match &event_store {
+            Some(es) => {
+                let guard = es.lock().unwrap_or_else(|e| e.into_inner());
+                (buffer.drain(), Some(guard.next_index()))
+            }
+            None => (buffer.drain(), None),
+        };
+        retrain_once(&store, event_store.as_deref(), batch, covered, &retrain);
     }
 }
 
 /// One retrain attempt over a drained batch (no-op on an empty batch).
-fn retrain_once(store: &SnapshotStore, batch: Vec<Cascade>, retrain: &RetrainFn) {
+/// `covered` is the WAL offset the batch extends the model to; with an
+/// event store attached, a successful publish checkpoints there.
+fn retrain_once(
+    store: &SnapshotStore,
+    event_store: Option<&Mutex<EventStore>>,
+    batch: Vec<Cascade>,
+    covered: Option<u64>,
+    retrain: &RetrainFn,
+) {
     if batch.is_empty() {
         return;
     }
@@ -109,6 +141,20 @@ fn retrain_once(store: &SnapshotStore, batch: Vec<Cascade>, retrain: &RetrainFn)
                 &format!("published snapshot v{version} from {count} cascades in {seconds:.2}s"),
                 &[],
             );
+            if let (Some(es), Some(offset)) = (event_store, covered) {
+                let published = store.current();
+                let mut guard = es.lock().unwrap_or_else(|e| e.into_inner());
+                // A failed checkpoint degrades durability (recovery
+                // replays from the previous one), not serving.
+                if let Err(e) = guard.checkpoint(version, offset, &published.embeddings) {
+                    obs::metrics().counter("store.checkpoint.errors").incr(1);
+                    warn(
+                        "serve.retrain",
+                        &format!("checkpoint of snapshot v{version} failed: {e}"),
+                        &[],
+                    );
+                }
+            }
         }
         Err(message) => {
             obs::metrics().counter("serve.retrain.errors").incr(1);
@@ -150,7 +196,7 @@ mod tests {
                 emb.selectivity_matrix().to_vec(),
             ))
         });
-        retrain_once(&store, vec![cascade(), cascade()], &retrain);
+        retrain_once(&store, None, vec![cascade(), cascade()], None, &retrain);
         let snap = store.current();
         assert_eq!(snap.version, 2);
         assert!((snap.embeddings.influence_matrix()[0] - 1.1).abs() < 1e-12);
@@ -160,7 +206,7 @@ mod tests {
     fn failed_retrain_keeps_the_old_snapshot() {
         let store = SnapshotStore::new(embeddings());
         let retrain: RetrainFn = Box::new(|_, _| Err("synthetic failure".into()));
-        retrain_once(&store, vec![cascade()], &retrain);
+        retrain_once(&store, None, vec![cascade()], None, &retrain);
         assert_eq!(store.version(), 1);
     }
 
@@ -168,8 +214,34 @@ mod tests {
     fn empty_batch_is_a_no_op() {
         let store = SnapshotStore::new(embeddings());
         let retrain: RetrainFn = Box::new(|_, _| panic!("must not be called"));
-        retrain_once(&store, Vec::new(), &retrain);
+        retrain_once(&store, None, Vec::new(), None, &retrain);
         assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn successful_publish_checkpoints_the_event_store() {
+        let dir =
+            std::env::temp_dir().join(format!("viralcast-trainer-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut es, _) = EventStore::open(&dir, viralcast_store::WalOptions::default()).unwrap();
+        es.append_batch(&[Cascade::new(vec![
+            Infection::new(0u32, 0.0),
+            Infection::new(1u32, 0.3),
+        ])
+        .unwrap()])
+            .unwrap();
+        let es = Mutex::new(es);
+        let store = SnapshotStore::new(embeddings());
+        let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
+        retrain_once(&store, Some(&es), vec![cascade()], Some(1), &retrain);
+        assert_eq!(store.version(), 2);
+        // The checkpoint landed: reopening recovers snapshot v2 with
+        // nothing left pending below the recorded offset.
+        drop(es);
+        let (_, recovery) = EventStore::open(&dir, viralcast_store::WalOptions::default()).unwrap();
+        assert_eq!(recovery.snapshot_version(), 2);
+        assert!(recovery.pending.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -181,6 +253,7 @@ mod tests {
         let handle = spawn(
             Arc::clone(&store),
             Arc::clone(&buffer),
+            None,
             retrain,
             TrainerConfig {
                 interval: Duration::from_millis(20),

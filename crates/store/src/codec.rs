@@ -1,0 +1,230 @@
+//! The WAL record codec: length-prefixed, CRC32-framed binary frames
+//! around a fixed-width cascade payload.
+//!
+//! On disk a record is
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+//! ```
+//!
+//! and a cascade payload is
+//!
+//! ```text
+//! [u32 LE infection count] then per infection [u32 LE node][u64 LE time bits]
+//! ```
+//!
+//! Everything is little-endian and fixed-width, so a record's size is
+//! knowable from its header and the reader never parses ambiguous text.
+//! The CRC is over the payload only: a torn length prefix, a torn
+//! payload, and a bit-flipped payload are all detected (the first two by
+//! running out of bytes, the last by the checksum), which is exactly the
+//! information [`crate::wal`]'s recovery reader needs to truncate a torn
+//! tail without discarding intact records.
+
+use crate::crc32::crc32;
+use viralcast_graph::NodeId;
+use viralcast_propagation::{Cascade, Infection};
+
+/// Bytes of framing before the payload: length prefix + CRC.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single payload. Corruption in the length prefix
+/// would otherwise make the reader trust an absurd length (and attempt
+/// the allocation); anything above this is classified as corrupt.
+pub const MAX_PAYLOAD_BYTES: usize = 64 << 20;
+
+/// Why a payload failed to decode back into a cascade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the declared infection count was read.
+    Truncated,
+    /// The payload has bytes left over after the declared infections.
+    TrailingBytes(usize),
+    /// The infections do not form a valid cascade (empty, duplicate
+    /// node, non-finite time).
+    InvalidCascade(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "payload shorter than its infection count"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the infections"),
+            CodecError::InvalidCascade(m) => write!(f, "payload is not a valid cascade: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes one cascade as a payload (no frame header).
+pub fn encode_cascade(cascade: &Cascade) -> Vec<u8> {
+    let infections = cascade.infections();
+    let mut out = Vec::with_capacity(4 + infections.len() * 12);
+    out.extend_from_slice(&(infections.len() as u32).to_le_bytes());
+    for inf in infections {
+        out.extend_from_slice(&inf.node.0.to_le_bytes());
+        out.extend_from_slice(&inf.time.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a payload previously written by [`encode_cascade`].
+pub fn decode_cascade(payload: &[u8]) -> Result<Cascade, CodecError> {
+    let count = u32::from_le_bytes(
+        payload
+            .get(..4)
+            .ok_or(CodecError::Truncated)?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let body = &payload[4..];
+    let expected = count.checked_mul(12).ok_or(CodecError::Truncated)?;
+    if body.len() < expected {
+        return Err(CodecError::Truncated);
+    }
+    if body.len() > expected {
+        return Err(CodecError::TrailingBytes(body.len() - expected));
+    }
+    let mut infections = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(12) {
+        let node = u32::from_le_bytes(chunk[..4].try_into().unwrap());
+        let time = f64::from_bits(u64::from_le_bytes(chunk[4..].try_into().unwrap()));
+        infections.push(Infection {
+            node: NodeId(node),
+            time,
+        });
+    }
+    Cascade::new(infections).map_err(|e| CodecError::InvalidCascade(e.to_string()))
+}
+
+/// Wraps a payload in the on-disk frame (length, CRC, payload).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD_BYTES);
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One step of the recovery reader over a byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameRead<'a> {
+    /// A complete record whose CRC matched; `consumed` bytes of input.
+    Complete {
+        /// The validated payload.
+        payload: &'a [u8],
+        /// Total frame size (header + payload).
+        consumed: usize,
+    },
+    /// The buffer ends before the record does — a torn tail.
+    Torn,
+    /// The header parsed but the payload failed its CRC (or the length
+    /// prefix is beyond [`MAX_PAYLOAD_BYTES`]): corruption, not a clean
+    /// cut.
+    Corrupt,
+    /// The buffer is exhausted exactly at a record boundary.
+    End,
+}
+
+/// Reads the frame starting at `buf[pos..]`.
+pub fn read_frame(buf: &[u8], pos: usize) -> FrameRead<'_> {
+    let rest = &buf[pos.min(buf.len())..];
+    if rest.is_empty() {
+        return FrameRead::End;
+    }
+    if rest.len() < FRAME_HEADER_BYTES {
+        return FrameRead::Torn;
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return FrameRead::Corrupt;
+    }
+    let expected_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let Some(payload) = rest.get(FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len) else {
+        return FrameRead::Torn;
+    };
+    if crc32(payload) != expected_crc {
+        return FrameRead::Corrupt;
+    }
+    FrameRead::Complete {
+        payload,
+        consumed: FRAME_HEADER_BYTES + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cascade(nodes: &[(u32, f64)]) -> Cascade {
+        Cascade::new(
+            nodes
+                .iter()
+                .map(|&(n, t)| Infection::new(n, t))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cascade_round_trip() {
+        let c = cascade(&[(0, 0.0), (7, 1.5), (3, 2.25)]);
+        let back = decode_cascade(&encode_cascade(&c)).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let payload = encode_cascade(&cascade(&[(0, 0.0), (1, 1.0)]));
+        assert_eq!(
+            decode_cascade(&payload[..payload.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(decode_cascade(&padded), Err(CodecError::TrailingBytes(1)));
+        // Count = 0 decodes to an empty infection list → invalid cascade.
+        let empty = 0u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            decode_cascade(&empty),
+            Err(CodecError::InvalidCascade(_))
+        ));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = encode_cascade(&cascade(&[(5, 0.5)]));
+        let framed = frame(&payload);
+        match read_frame(&framed, 0) {
+            FrameRead::Complete {
+                payload: got,
+                consumed,
+            } => {
+                assert_eq!(got, &payload[..]);
+                assert_eq!(consumed, framed.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        assert_eq!(read_frame(&framed, framed.len()), FrameRead::End);
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_distinguished() {
+        let framed = frame(&encode_cascade(&cascade(&[(1, 0.0), (2, 3.0)])));
+        // Any strict prefix is torn, never corrupt, never complete.
+        for cut in 1..framed.len() {
+            assert_eq!(read_frame(&framed[..cut], 0), FrameRead::Torn, "cut {cut}");
+        }
+        // A payload bit flip is corrupt.
+        let mut flipped = framed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert_eq!(read_frame(&flipped, 0), FrameRead::Corrupt);
+        // An absurd length prefix is corrupt, not a huge allocation.
+        let mut huge = framed;
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(read_frame(&huge, 0), FrameRead::Corrupt);
+    }
+}

@@ -21,6 +21,48 @@ run() {
     "$@"
 }
 
+http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$2" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+http_post() {
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf 'POST %s HTTP/1.1\r\nHost: smoke\r\nContent-Type: application/json\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+        "$2" "${#3}" "$3" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+write_fixture() {
+    printf '%s' '{"format":"viralcast-embeddings-v1","n":3,"k":2,"a":[0.5,0.1,0.2,0.6,0.3,0.3],"b":[0.4,0.2,0.1,0.5,0.2,0.4]}' >"$1"
+}
+
+# Polls the daemon's log for the ephemeral port it reports on stdout;
+# prints the port, or nothing on timeout.
+await_port() {
+    local port=""
+    for _ in $(seq 1 100); do
+        port="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$1")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    printf '%s' "$port"
+}
+
+# Polls /healthz until it answers ok; prints the last response.
+await_health() {
+    local health=""
+    for _ in $(seq 1 50); do
+        health="$(http_get "$1" /healthz 2>/dev/null || true)"
+        case "$health" in *'"status":"ok"'*) break ;; esac
+        sleep 0.1
+    done
+    printf '%s' "$health"
+}
+
 # Boots the released daemon against a tiny fixture model on a random
 # port, polls /healthz, scrapes /metrics, and asserts a clean SIGINT
 # shutdown (exit 0).
@@ -30,19 +72,13 @@ smoke_serve() {
     trap 'rm -rf "$tmp"' RETURN
     fixture="$tmp/embeddings.json"
     log="$tmp/serve.log"
-    printf '%s' '{"format":"viralcast-embeddings-v1","n":3,"k":2,"a":[0.5,0.1,0.2,0.6,0.3,0.3],"b":[0.4,0.2,0.1,0.5,0.2,0.4]}' >"$fixture"
+    write_fixture "$fixture"
 
     target/release/viralcast serve --embeddings "$fixture" \
         --addr 127.0.0.1:0 --workers 2 >"$log" 2>&1 &
     pid=$!
 
-    # The daemon picks an ephemeral port and reports it on stdout.
-    port=""
-    for _ in $(seq 1 100); do
-        port="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$log")"
-        [ -n "$port" ] && break
-        sleep 0.1
-    done
+    port="$(await_port "$log")"
     if [ -z "$port" ]; then
         echo "daemon never reported its port" >&2
         cat "$log" >&2
@@ -50,19 +86,7 @@ smoke_serve() {
         return 1
     fi
 
-    http_get() {
-        exec 3<>"/dev/tcp/127.0.0.1/$1"
-        printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$2" >&3
-        cat <&3
-        exec 3>&- 3<&-
-    }
-
-    health=""
-    for _ in $(seq 1 50); do
-        health="$(http_get "$port" /healthz 2>/dev/null || true)"
-        case "$health" in *'"status":"ok"'*) break ;; esac
-        sleep 0.1
-    done
+    health="$(await_health "$port")"
     case "$health" in
         *'"status":"ok"'*) ;;
         *)
@@ -88,14 +112,93 @@ smoke_serve() {
     echo "serve smoke test OK (port $port)"
 }
 
+# Crash recovery: boot the daemon durable (--data-dir), ack two ingests,
+# SIGKILL it mid-flight, restart on the same directory, and assert the
+# WAL replay count and the served prediction both survive the crash.
+smoke_recovery() {
+    local tmp fixture log pid port ingest predict_before predict_after metrics replayed
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    fixture="$tmp/embeddings.json"
+    log="$tmp/serve.log"
+    write_fixture "$fixture"
+
+    # Trainer effectively off: the WAL is the only durable copy.
+    target/release/viralcast serve --embeddings "$fixture" \
+        --addr 127.0.0.1:0 --workers 2 \
+        --data-dir "$tmp/data" --fsync always --retrain-interval 3600 >"$log" 2>&1 &
+    pid=$!
+
+    port="$(await_port "$log")"
+    if [ -z "$port" ] || ! await_health "$port" | grep -q '"status":"ok"'; then
+        echo "durable daemon never became healthy" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    ingest="$(http_post "$port" /v1/ingest '{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}],[{"node":2,"time":0.0},{"node":0,"time":0.5}]]}')"
+    case "$ingest" in
+        *'"accepted":2'*) ;;
+        *)
+            echo "durable ingest was not acked: $ingest" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+    predict_before="$(http_post "$port" /v1/predict '{"cascade":[{"node":0,"time":0.0}],"top":3}')"
+
+    # Crash hard: no shutdown hooks, no final flush.
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null || true
+
+    : >"$log"
+    target/release/viralcast serve --embeddings "$fixture" \
+        --addr 127.0.0.1:0 --workers 2 \
+        --data-dir "$tmp/data" --fsync always --retrain-interval 3600 >"$log" 2>&1 &
+    pid=$!
+
+    port="$(await_port "$log")"
+    if [ -z "$port" ] || ! await_health "$port" | grep -q '"status":"ok"'; then
+        echo "daemon never recovered after the crash" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    metrics="$(http_get "$port" /metrics)"
+    replayed="$(printf '%s' "$metrics" | sed -n 's/^store_wal_replayed_records \([0-9.]*\).*/\1/p')"
+    if [ "${replayed%%.*}" != "2" ]; then
+        echo "expected 2 replayed WAL records, got '${replayed:-none}'" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    predict_after="$(http_post "$port" /v1/predict '{"cascade":[{"node":0,"time":0.0}],"top":3}')"
+    if [ "$predict_after" != "$predict_before" ]; then
+        echo "post-crash prediction diverged" >&2
+        printf 'before: %s\nafter:  %s\n' "$predict_before" "$predict_after" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    kill -INT "$pid"
+    wait "$pid"
+    echo "crash recovery smoke test OK (port $port, 2 records replayed)"
+}
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$build" -eq 1 ]; then
-    run cargo build --release
+    # --workspace: a root-package build compiles member *libs* but not the
+    # `viralcast` bin the smoke tests drive.
+    run cargo build --release --workspace
 fi
-run cargo test -q
+run cargo test -q --workspace
 if [ "$build" -eq 1 ]; then
     run smoke_serve
+    run smoke_recovery
 fi
 
 echo
