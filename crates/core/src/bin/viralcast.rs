@@ -108,6 +108,8 @@ fn run() -> Result<(), CliError> {
             "predict" => predict_cmd(&flags)?,
             "influencers" => influencers_cmd(&flags)?,
             "serve" => serve_cmd(&flags)?,
+            "loadgen" => loadgen_cmd(&flags)?,
+            "bench-hotpath" => bench_hotpath_cmd(&flags)?,
             _ => unreachable!("validated by command_flags"),
         }
     };
@@ -139,7 +141,11 @@ USAGE:
                            [--retrain-interval SECS] [--min-retrain-batch N]
                            [--ingest-capacity N] [--data-dir DIR]
                            [--fsync always|interval[:MS]|rotate]
-                           [--segment-bytes N]
+                           [--segment-bytes N] [--access-log FILE]
+  viralcast loadgen        --addr HOST:PORT [--workers N] [--duration SECS]
+                           [--warmup SECS] [--mix SPEC] [--seed S] [--out FILE]
+  viralcast bench-hotpath  [--nodes N] [--topics K] [--iterations I]
+                           [--seed S] [--out FILE]
 
 SERVE:
   Runs the online prediction daemon: GET /healthz, GET /metrics,
@@ -155,6 +161,27 @@ SERVE:
   cascade is lost. --fsync picks the durability/latency trade-off
   (default always); --segment-bytes sets the log rotation size
   (default 8388608).
+
+  Every response carries an X-Request-Id (the request's own if it sent
+  one, otherwise generated). --access-log FILE appends one JSON line per
+  request (schema viralcast-access-log/v1): method, path, status,
+  snapshot_version, latency_us and trace_id.
+
+LOADGEN:
+  Drives a running daemon with a closed-loop weighted traffic mix
+  (--mix, default predict=4,hazard=2,influencers=1,ingest=1) from
+  --workers concurrent connections (default 4). After --warmup seconds
+  (default 2, discarded) it measures for --duration seconds (default 10)
+  and prints per-endpoint p50/p99 latency, throughput and the shed rate;
+  --out FILE (default BENCH_http.json) gets the machine-readable report.
+  Requests carry deterministic lg-<worker>-<seq> trace IDs, joinable
+  against the daemon's access log.
+
+BENCH-HOTPATH:
+  Times the hazard candidate scan (the serving hot path) against a
+  synthetic --nodes × --topics model (default 2000×8) for --iterations
+  scans (default 400); --out FILE (default BENCH_hotpath.json) gets the
+  report, including a determinism checksum.
 
 OBSERVABILITY (all commands):
   --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
@@ -213,6 +240,23 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("data-dir", true),
             ("fsync", true),
             ("segment-bytes", true),
+            ("access-log", true),
+        ],
+        "loadgen" => &[
+            ("addr", true),
+            ("workers", true),
+            ("duration", true),
+            ("warmup", true),
+            ("mix", true),
+            ("seed", true),
+            ("out", true),
+        ],
+        "bench-hotpath" => &[
+            ("nodes", true),
+            ("topics", true),
+            ("iterations", true),
+            ("seed", true),
+            ("out", true),
         ],
         _ => return None,
     };
@@ -466,6 +510,7 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         )));
     }
     let data_dir = flags.opt_path("data-dir");
+    let access_log = flags.opt_path("access-log");
     let wal_defaults = viralcast::store::WalOptions::default();
     let fsync = match flags.get("fsync") {
         Some(raw) => viralcast::store::FsyncPolicy::parse(raw)
@@ -510,11 +555,18 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
             segment_bytes,
             fsync,
         },
+        access_log: access_log.clone(),
         ..serve::ServeConfig::default()
     };
     let handle = serve::start(embeddings, retrain, config).map_err(runtime_err)?;
     let bound = handle.local_addr();
     println!("viralcast-serve listening on http://{bound} ({nodes} nodes × {topics} topics)");
+    if let Some(path) = &access_log {
+        println!(
+            "access log (one JSON line per request) at {}",
+            path.display()
+        );
+    }
     let recovery = handle.recovery();
     if let (Some(dir), Some(r)) = (&data_dir, &recovery) {
         println!(
@@ -552,6 +604,140 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         attrs.push(("recovered_pending".into(), r.pending.into()));
     }
     Ok(attrs)
+}
+
+fn loadgen_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::loadgen;
+
+    let addr_raw = flags
+        .get("addr")
+        .ok_or_else(|| usage_err("missing required flag --addr"))?;
+    let addr: std::net::SocketAddr = addr_raw.parse().map_err(|_| {
+        usage_err(format!(
+            "malformed --addr {addr_raw:?} (expected HOST:PORT)"
+        ))
+    })?;
+    let workers = flags.usize("workers", 4)?;
+    let duration = flags.f64("duration", 10.0)?;
+    let warmup = flags.f64("warmup", 2.0)?;
+    if !duration.is_finite() || duration <= 0.0 {
+        return Err(usage_err("--duration must be a positive number of seconds"));
+    }
+    if !warmup.is_finite() || warmup < 0.0 {
+        return Err(usage_err(
+            "--warmup must be a non-negative number of seconds",
+        ));
+    }
+    let mix_raw = flags
+        .get("mix")
+        .unwrap_or("predict=4,hazard=2,influencers=1,ingest=1");
+    let mix = loadgen::parse_mix(mix_raw).map_err(|e| usage_err(format!("--mix: {e}")))?;
+    let seed = flags.u64("seed", 1)?;
+    let out = flags
+        .opt_path("out")
+        .unwrap_or_else(|| PathBuf::from("BENCH_http.json"));
+
+    let config = loadgen::LoadgenConfig {
+        addr,
+        workers,
+        duration: std::time::Duration::from_secs_f64(duration),
+        warmup: std::time::Duration::from_secs_f64(warmup),
+        mix,
+        seed,
+    };
+    println!(
+        "driving http://{addr} with {workers} worker(s), mix {mix_raw}: \
+         {warmup:.1}s warmup then {duration:.1}s measured…"
+    );
+    let summary = {
+        let _span = Span::enter("loadgen");
+        loadgen::run(&config).map_err(runtime_err)?
+    };
+
+    println!(
+        "{:>12} {:>9} {:>9} {:>9} {:>9}",
+        "endpoint", "requests", "p50 ms", "p99 ms", "max ms"
+    );
+    let cell = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.2}"));
+    for e in &summary.endpoints {
+        println!(
+            "{:>12} {:>9} {:>9} {:>9} {:>9}",
+            e.label,
+            e.requests,
+            cell(e.p50_ms),
+            cell(e.p99_ms),
+            cell(e.max_ms)
+        );
+    }
+    println!(
+        "{:.1} req/s over {:.1}s — {} ok, {} shed (shed rate {:.3}), \
+         {} other 4xx, {} 5xx, {} io errors",
+        summary.throughput_rps,
+        summary.measured_seconds,
+        summary.http_2xx,
+        summary.http_429,
+        summary.shed_rate,
+        summary.http_4xx,
+        summary.http_5xx,
+        summary.io_errors
+    );
+
+    let mut attrs: Attrs = vec![
+        ("addr".into(), addr.to_string().into()),
+        ("workers".into(), workers.into()),
+        ("duration_s".into(), duration.into()),
+        ("warmup_s".into(), warmup.into()),
+        ("mix".into(), mix_raw.into()),
+        ("seed".into(), seed.into()),
+    ];
+    attrs.extend(summary.attrs());
+    save_bench_report("loadgen", &attrs, &out)?;
+    println!("bench report written to {}", out.display());
+    Ok(attrs)
+}
+
+fn bench_hotpath_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::hotpath;
+
+    let defaults = hotpath::HotpathConfig::default();
+    let config = hotpath::HotpathConfig {
+        nodes: flags.usize("nodes", defaults.nodes)?,
+        topics: flags.usize("topics", defaults.topics)?,
+        iterations: flags.usize("iterations", defaults.iterations)?,
+        seed: flags.u64("seed", defaults.seed)?,
+    };
+    let out = flags
+        .opt_path("out")
+        .unwrap_or_else(|| PathBuf::from("BENCH_hotpath.json"));
+    println!(
+        "scanning {} candidates × {} topics, {} iterations…",
+        config.nodes, config.topics, config.iterations
+    );
+    let summary = {
+        let _span = Span::enter("bench_hotpath");
+        hotpath::run(&config).map_err(usage_err)?
+    };
+    println!(
+        "{:.1} ns per rate op — scan p50 {:.1} µs, p99 {:.1} µs (checksum {:.3})",
+        summary.ns_per_rate_op, summary.scan_p50_us, summary.scan_p99_us, summary.checksum
+    );
+    let attrs: Attrs = summary.attrs();
+    save_bench_report("bench-hotpath", &attrs, &out)?;
+    println!("bench report written to {}", out.display());
+    Ok(attrs)
+}
+
+/// Writes a `BENCH_*.json` run report: the standard report envelope
+/// (schema + metrics snapshot) around the bench's own attributes.
+fn save_bench_report(command: &str, attrs: &Attrs, out: &Path) -> Result<(), CliError> {
+    let mut report = RunReport::default().attr("command", command);
+    report.metrics = viralcast::obs::metrics().snapshot();
+    for (key, value) in attrs {
+        report = report.attr(key.clone(), value.clone());
+    }
+    report
+        .save(out)
+        .map_err(|e| runtime_err(format!("cannot write bench report {}: {e}", out.display())))
 }
 
 fn load_corpus(path: &Path) -> Result<CascadeSet, String> {

@@ -1,0 +1,205 @@
+//! Microbenchmark of the serving hot path: the hazard candidate scan.
+//!
+//! Every `/v1/predict` call scans all `n` candidate nodes and sums
+//! `⟨A_u, B_v⟩` rates over the infected set — the same inner product the
+//! simulator races on and the single hottest loop in the daemon.
+//! `viralcast bench-hotpath` times that scan in isolation against a
+//! synthetic model so `BENCH_hotpath.json` tracks the kernel's cost
+//! across PRs without HTTP, threading, or allocator noise on top.
+//!
+//! The harness is deterministic: the model and the scan order are pure
+//! functions of `--seed`, and the folded checksum of every scan is
+//! reported (and printed) so the compiler cannot dead-code-eliminate
+//! the work being timed.
+
+use crate::loadgen::XorShift64;
+use std::time::Instant;
+use viralcast_embed::Embeddings;
+use viralcast_graph::NodeId;
+use viralcast_obs::JsonValue;
+
+/// One bench run's knobs.
+#[derive(Clone, Debug)]
+pub struct HotpathConfig {
+    /// Synthetic model size (candidate-scan length).
+    pub nodes: usize,
+    /// Synthetic model topic count (inner-product length).
+    pub topics: usize,
+    /// Full candidate scans to time.
+    pub iterations: usize,
+    /// PRNG seed for the model and the scan sources.
+    pub seed: u64,
+}
+
+impl Default for HotpathConfig {
+    fn default() -> HotpathConfig {
+        HotpathConfig {
+            nodes: 2_000,
+            topics: 8,
+            iterations: 400,
+            seed: 1,
+        }
+    }
+}
+
+/// What the bench measured.
+#[derive(Clone, Debug)]
+pub struct HotpathSummary {
+    /// Scan length (model nodes).
+    pub nodes: usize,
+    /// Inner-product length (model topics).
+    pub topics: usize,
+    /// Scans performed.
+    pub iterations: usize,
+    /// `iterations × nodes` rate evaluations.
+    pub total_rate_ops: u64,
+    /// Mean cost of one rate evaluation, in nanoseconds.
+    pub ns_per_rate_op: f64,
+    /// Median full-scan latency, in microseconds.
+    pub scan_p50_us: f64,
+    /// 99th-percentile full-scan latency, in microseconds.
+    pub scan_p99_us: f64,
+    /// Folded sum of every scan result (anti-dead-code-elimination;
+    /// also a cheap cross-machine determinism check for a given seed).
+    pub checksum: f64,
+}
+
+impl HotpathSummary {
+    /// The summary as run-report attributes (the `BENCH_hotpath.json`
+    /// payload beyond the standard report envelope).
+    pub fn attrs(&self) -> Vec<(String, JsonValue)> {
+        vec![
+            ("nodes".into(), self.nodes.into()),
+            ("topics".into(), self.topics.into()),
+            ("iterations".into(), self.iterations.into()),
+            ("total_rate_ops".into(), self.total_rate_ops.into()),
+            ("ns_per_rate_op".into(), self.ns_per_rate_op.into()),
+            ("scan_p50_us".into(), self.scan_p50_us.into()),
+            ("scan_p99_us".into(), self.scan_p99_us.into()),
+            ("checksum".into(), self.checksum.into()),
+        ]
+    }
+}
+
+/// Builds the synthetic model: influence/selectivity entries uniform in
+/// `[0, 1)`, fully dense so every inner product does real work.
+fn synthetic_model(nodes: usize, topics: usize, seed: u64) -> Embeddings {
+    let mut rng = XorShift64::new(seed);
+    let mut entries =
+        (0..2 * nodes * topics).map(|_| (rng.next_u64() % 1_000_000) as f64 / 1_000_000.0);
+    let influence: Vec<f64> = entries.by_ref().take(nodes * topics).collect();
+    let selectivity: Vec<f64> = entries.collect();
+    Embeddings::from_matrices(nodes, topics, influence, selectivity)
+}
+
+/// Runs the scan benchmark.
+pub fn run(config: &HotpathConfig) -> Result<HotpathSummary, String> {
+    if config.nodes == 0 || config.topics == 0 || config.iterations == 0 {
+        return Err("--nodes, --topics and --iterations must all be positive".into());
+    }
+    let embeddings = synthetic_model(config.nodes, config.topics, config.seed);
+    let mut rng = XorShift64::new(config.seed ^ 0x5851_f42d_4c95_7f2d);
+
+    // One untimed scan warms caches (and the page the matrices live on).
+    let mut checksum = scan(&embeddings, NodeId::new(0));
+
+    let mut scan_ns: Vec<u64> = Vec::with_capacity(config.iterations);
+    let started = Instant::now();
+    for _ in 0..config.iterations {
+        let source = NodeId::new(rng.below(config.nodes as u64) as usize);
+        let t0 = Instant::now();
+        checksum += scan(&embeddings, source);
+        scan_ns.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let total = started.elapsed();
+    scan_ns.sort_unstable();
+
+    let total_rate_ops = (config.iterations * config.nodes) as u64;
+    let rank = |q: f64| -> f64 {
+        let i = (q * (scan_ns.len() as f64 - 1.0)).round() as usize;
+        scan_ns[i.min(scan_ns.len() - 1)] as f64 / 1_000.0
+    };
+    Ok(HotpathSummary {
+        nodes: config.nodes,
+        topics: config.topics,
+        iterations: config.iterations,
+        total_rate_ops,
+        ns_per_rate_op: total.as_nanos() as f64 / total_rate_ops as f64,
+        scan_p50_us: rank(0.50),
+        scan_p99_us: rank(0.99),
+        checksum,
+    })
+}
+
+/// One full candidate scan: the sum of `rate(source, v)` over all `v`.
+#[inline(never)]
+fn scan(embeddings: &Embeddings, source: NodeId) -> f64 {
+    (0..embeddings.node_count())
+        .map(|v| embeddings.rate(source, NodeId::new(v)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_is_deterministic_in_everything_but_time() {
+        let config = HotpathConfig {
+            nodes: 16,
+            topics: 2,
+            iterations: 8,
+            seed: 42,
+        };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.total_rate_ops, 16 * 8);
+        assert!(a.checksum > 0.0);
+        assert!(a.ns_per_rate_op > 0.0);
+        assert!(a.scan_p99_us >= a.scan_p50_us);
+        assert_eq!(b.nodes, 16);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        for broken in [
+            HotpathConfig {
+                nodes: 0,
+                ..HotpathConfig::default()
+            },
+            HotpathConfig {
+                topics: 0,
+                ..HotpathConfig::default()
+            },
+            HotpathConfig {
+                iterations: 0,
+                ..HotpathConfig::default()
+            },
+        ] {
+            assert!(run(&broken).is_err());
+        }
+    }
+
+    #[test]
+    fn attrs_cover_the_bench_schema() {
+        let summary = run(&HotpathConfig {
+            nodes: 8,
+            topics: 1,
+            iterations: 4,
+            seed: 3,
+        })
+        .unwrap();
+        let json = JsonValue::Obj(summary.attrs()).render();
+        for needle in [
+            "\"nodes\":8",
+            "\"total_rate_ops\":32",
+            "\"ns_per_rate_op\":",
+            "\"scan_p50_us\":",
+            "\"scan_p99_us\":",
+            "\"checksum\":",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //!   SVM → F1-vs-threshold curves.
 //! * [`influencers`] — the "identification of the significant
 //!   influencers" application from the introduction.
+//! * [`loadgen`] / [`hotpath`] — the performance harnesses behind
+//!   `viralcast loadgen` and `viralcast bench-hotpath`: closed-loop HTTP
+//!   load against a live daemon, and a microbenchmark of the hazard
+//!   candidate scan. Both write machine-readable `BENCH_*.json` reports.
 //! * [`prelude`] — one-line imports for the common types.
 //!
 //! # Quickstart
@@ -48,7 +52,9 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod hotpath;
 pub mod influencers;
+pub mod loadgen;
 pub mod pipeline;
 pub mod prelude;
 

@@ -1,0 +1,576 @@
+//! Closed-loop HTTP load generation against a running daemon.
+//!
+//! `viralcast loadgen` drives a live `viralcast serve` instance with a
+//! configurable mix of endpoint traffic and records the first
+//! performance trajectory of the project: per-endpoint latency
+//! percentiles, sustained throughput, and the shed rate under the
+//! daemon's own load-shedding policy. The harness is *closed-loop* —
+//! each worker issues its next request only after the previous response
+//! lands — so measured latency is service latency, not queueing debris
+//! from an open-loop arrival process the daemon never promised to absorb.
+//!
+//! The run has two phases: a **warmup** whose samples are discarded
+//! (connection churn, cold caches, the trainer's first publish) and a
+//! **measurement** window that feeds the report. Every request carries a
+//! deterministic `X-Request-Id` (`lg-<worker>-<seq>`), so a slow sample
+//! in `BENCH_http.json` can be joined against the daemon's access log
+//! and trace events by ID.
+//!
+//! The harness reuses [`viralcast_serve::client`] — the same
+//! std-only one-connection-per-request client the integration tests use
+//! — and needs nothing outside the workspace.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+use viralcast_obs::JsonValue;
+use viralcast_serve::{client, json};
+
+/// xorshift64* — a tiny deterministic PRNG for workload generation.
+///
+/// The bench harnesses hand-roll their randomness so they stay free of
+/// external crates (and so a seed reproduces the exact request stream
+/// byte for byte across machines).
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// A generator seeded with `seed` (zero is remapped — xorshift has a
+    /// fixed point at zero).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// The next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value uniform in `0..bound` (`bound = 0` yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The endpoints the generator knows how to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/predict` — rank next adopters of a partial cascade.
+    Predict,
+    /// `POST /v1/hazard` — pairwise rate queries.
+    Hazard,
+    /// `GET /v1/influencers` — global influencer ranking.
+    Influencers,
+    /// `POST /v1/ingest` — append cascades (exercises WAL + trainer).
+    Ingest,
+}
+
+/// All endpoints, in report order.
+pub const ENDPOINTS: [Endpoint; 4] = [
+    Endpoint::Predict,
+    Endpoint::Hazard,
+    Endpoint::Influencers,
+    Endpoint::Ingest,
+];
+
+impl Endpoint {
+    /// The mix-string / report key for this endpoint.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Predict => "predict",
+            Endpoint::Hazard => "hazard",
+            Endpoint::Influencers => "influencers",
+            Endpoint::Ingest => "ingest",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Predict => 0,
+            Endpoint::Hazard => 1,
+            Endpoint::Influencers => 2,
+            Endpoint::Ingest => 3,
+        }
+    }
+}
+
+/// Parses a traffic-mix string like `predict=4,hazard=2,influencers=1,ingest=1`
+/// into `(endpoint, weight)` pairs. Endpoints absent from the string get
+/// weight 0; at least one weight must be positive.
+pub fn parse_mix(raw: &str) -> Result<[u32; 4], String> {
+    let mut weights = [0u32; 4];
+    for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
+        let (name, weight) = part
+            .split_once('=')
+            .ok_or_else(|| format!("malformed mix component {part:?} (expected name=weight)"))?;
+        let endpoint = ENDPOINTS
+            .iter()
+            .find(|e| e.label() == name.trim())
+            .ok_or_else(|| {
+                format!("unknown endpoint {name:?} (expected predict|hazard|influencers|ingest)")
+            })?;
+        let weight: u32 = weight
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed weight {weight:?} for {name}"))?;
+        weights[endpoint.index()] = weight;
+    }
+    if weights.iter().all(|&w| w == 0) {
+        return Err("traffic mix has no positive weights".into());
+    }
+    Ok(weights)
+}
+
+/// One loadgen run's knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// The daemon to drive.
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop workers.
+    pub workers: usize,
+    /// Measurement-window length.
+    pub duration: Duration,
+    /// Warmup length (samples discarded).
+    pub warmup: Duration,
+    /// Per-endpoint weights, indexed by [`Endpoint::index`].
+    pub mix: [u32; 4],
+    /// PRNG seed; the request stream is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 8080)),
+            workers: 4,
+            duration: Duration::from_secs(10),
+            warmup: Duration::from_secs(2),
+            mix: [4, 2, 1, 1],
+            seed: 1,
+        }
+    }
+}
+
+/// Measured latency quantiles for one endpoint.
+#[derive(Clone, Debug)]
+pub struct EndpointStats {
+    /// The endpoint's mix label.
+    pub label: &'static str,
+    /// Requests completed during the measurement window.
+    pub requests: u64,
+    /// Median latency in milliseconds (None when no samples).
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: Option<f64>,
+    /// Worst observed latency in milliseconds.
+    pub max_ms: Option<f64>,
+}
+
+/// What one run measured.
+#[derive(Clone, Debug)]
+pub struct LoadgenSummary {
+    /// Actual measurement-window length.
+    pub measured_seconds: f64,
+    /// Requests completed in the window (all endpoints).
+    pub total_requests: u64,
+    /// `total_requests / measured_seconds`.
+    pub throughput_rps: f64,
+    /// 2xx responses.
+    pub http_2xx: u64,
+    /// 4xx responses other than 429.
+    pub http_4xx: u64,
+    /// Load-shed (429) responses.
+    pub http_429: u64,
+    /// 5xx responses.
+    pub http_5xx: u64,
+    /// Requests that failed below HTTP (connect/read/write errors).
+    pub io_errors: u64,
+    /// `http_429 / total_requests` (0 when no requests).
+    pub shed_rate: f64,
+    /// Per-endpoint latency quantiles, in [`ENDPOINTS`] order.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+impl LoadgenSummary {
+    /// The summary as run-report attributes (the `BENCH_http.json`
+    /// payload beyond the standard report envelope).
+    pub fn attrs(&self) -> Vec<(String, JsonValue)> {
+        let endpoints = JsonValue::Obj(
+            self.endpoints
+                .iter()
+                .map(|e| {
+                    (
+                        e.label.to_string(),
+                        JsonValue::obj(vec![
+                            ("requests", JsonValue::from(e.requests)),
+                            ("p50_ms", e.p50_ms.map_or(JsonValue::Null, JsonValue::from)),
+                            ("p99_ms", e.p99_ms.map_or(JsonValue::Null, JsonValue::from)),
+                            ("max_ms", e.max_ms.map_or(JsonValue::Null, JsonValue::from)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        vec![
+            ("measured_seconds".into(), self.measured_seconds.into()),
+            ("total_requests".into(), self.total_requests.into()),
+            ("throughput_rps".into(), self.throughput_rps.into()),
+            ("http_2xx".into(), self.http_2xx.into()),
+            ("http_4xx".into(), self.http_4xx.into()),
+            ("http_429".into(), self.http_429.into()),
+            ("http_5xx".into(), self.http_5xx.into()),
+            ("io_errors".into(), self.io_errors.into()),
+            ("shed_rate".into(), self.shed_rate.into()),
+            ("endpoints".into(), endpoints),
+        ]
+    }
+}
+
+/// Run phases, shared through an `AtomicU8`.
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_STOP: u8 = 2;
+
+/// Per-worker tallies, merged after the run.
+#[derive(Default)]
+struct WorkerResult {
+    latencies_us: [Vec<u64>; 4],
+    http_2xx: u64,
+    http_4xx: u64,
+    http_429: u64,
+    http_5xx: u64,
+    io_errors: u64,
+}
+
+/// Probes `GET /healthz` and returns the served model's node count —
+/// the generator samples query nodes from `0..nodes`.
+pub fn probe_node_count(addr: &SocketAddr) -> Result<usize, String> {
+    let resp = client::request(addr, "GET", "/healthz", None)
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/healthz returned {}", resp.status));
+    }
+    let body = json::parse(&resp.body).map_err(|e| format!("malformed /healthz body: {e}"))?;
+    let nodes = json::get(&body, "nodes")
+        .and_then(json::as_u64)
+        .ok_or("/healthz body lacks a numeric \"nodes\" field")?;
+    if nodes == 0 {
+        return Err("daemon serves an empty model (0 nodes)".into());
+    }
+    Ok(nodes as usize)
+}
+
+/// Runs the closed-loop workload and returns the measured summary.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
+    if config.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    if config.mix.iter().all(|&w| w == 0) {
+        return Err("traffic mix has no positive weights".into());
+    }
+    let nodes = probe_node_count(&config.addr)?;
+    let phase = AtomicU8::new(PHASE_WARMUP);
+
+    let mut results: Vec<WorkerResult> = Vec::new();
+    let mut measured_seconds = 0.0f64;
+    std::thread::scope(|scope| {
+        let phase = &phase;
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let addr = config.addr;
+                let mix = config.mix;
+                // Distinct odd-spaced seeds per worker keep streams
+                // decorrelated while the whole run stays reproducible.
+                let seed = config
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                scope.spawn(move || worker_loop(w, addr, nodes, mix, seed, phase))
+            })
+            .collect();
+
+        std::thread::sleep(config.warmup);
+        phase.store(PHASE_MEASURE, Ordering::SeqCst);
+        let measure_start = Instant::now();
+        std::thread::sleep(config.duration);
+        phase.store(PHASE_STOP, Ordering::SeqCst);
+        measured_seconds = measure_start.elapsed().as_secs_f64();
+
+        for handle in handles {
+            results.push(handle.join().unwrap_or_default());
+        }
+    });
+
+    Ok(summarise(&results, measured_seconds))
+}
+
+fn worker_loop(
+    worker: usize,
+    addr: SocketAddr,
+    nodes: usize,
+    mix: [u32; 4],
+    seed: u64,
+    phase: &AtomicU8,
+) -> WorkerResult {
+    let mut rng = XorShift64::new(seed);
+    let total_weight: u64 = mix.iter().map(|&w| w as u64).sum();
+    let mut result = WorkerResult::default();
+    let mut seq = 0u64;
+    loop {
+        match phase.load(Ordering::SeqCst) {
+            PHASE_STOP => break,
+            p => p,
+        };
+        let endpoint = pick_endpoint(&mut rng, &mix, total_weight);
+        let (method, target, body) = build_request(endpoint, &mut rng, nodes);
+        let trace_id = format!("lg-{worker}-{seq:x}");
+        seq += 1;
+        let started = Instant::now();
+        let outcome = client::request_with_headers(
+            &addr,
+            method,
+            &target,
+            body.as_deref(),
+            &[("X-Request-Id", &trace_id)],
+        );
+        // Samples count only when the whole exchange fit inside the
+        // measurement window.
+        if phase.load(Ordering::SeqCst) != PHASE_MEASURE {
+            continue;
+        }
+        match outcome {
+            Ok(resp) => {
+                result.latencies_us[endpoint.index()]
+                    .push(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                match resp.status {
+                    200..=299 => result.http_2xx += 1,
+                    429 => result.http_429 += 1,
+                    400..=499 => result.http_4xx += 1,
+                    500..=599 => result.http_5xx += 1,
+                    _ => result.http_4xx += 1,
+                }
+            }
+            Err(_) => result.io_errors += 1,
+        }
+    }
+    result
+}
+
+fn pick_endpoint(rng: &mut XorShift64, mix: &[u32; 4], total_weight: u64) -> Endpoint {
+    let mut roll = rng.below(total_weight);
+    for endpoint in ENDPOINTS {
+        let w = mix[endpoint.index()] as u64;
+        if roll < w {
+            return endpoint;
+        }
+        roll -= w;
+    }
+    Endpoint::Predict // unreachable: total_weight covers the full mix
+}
+
+/// The next request for `endpoint`: `(method, target, body)`.
+fn build_request(
+    endpoint: Endpoint,
+    rng: &mut XorShift64,
+    nodes: usize,
+) -> (&'static str, String, Option<String>) {
+    let n = nodes as u64;
+    match endpoint {
+        Endpoint::Predict => {
+            let node = rng.below(n);
+            (
+                "POST",
+                "/v1/predict".into(),
+                Some(format!(
+                    r#"{{"cascade":[{{"node":{node},"time":0.0}}],"top":5}}"#
+                )),
+            )
+        }
+        Endpoint::Hazard => {
+            let u = rng.below(n);
+            let v = rng.below(n);
+            (
+                "POST",
+                "/v1/hazard".into(),
+                Some(format!(r#"{{"pairs":[[{u},{v}]],"dt":1.0}}"#)),
+            )
+        }
+        Endpoint::Influencers => ("GET", "/v1/influencers?top=5".into(), None),
+        Endpoint::Ingest => {
+            // Two distinct nodes so the cascade passes validation; the
+            // modulo wrap keeps both in range for any model ≥ 2 nodes.
+            let a = rng.below(n);
+            let b = (a + 1) % n.max(1);
+            let body = if b == a {
+                format!(r#"{{"cascades":[[{{"node":{a},"time":0.0}}]]}}"#)
+            } else {
+                format!(r#"{{"cascades":[[{{"node":{a},"time":0.0}},{{"node":{b},"time":1.0}}]]}}"#)
+            };
+            ("POST", "/v1/ingest".into(), Some(body))
+        }
+    }
+}
+
+fn summarise(results: &[WorkerResult], measured_seconds: f64) -> LoadgenSummary {
+    let mut endpoints = Vec::with_capacity(ENDPOINTS.len());
+    let mut total_requests = 0u64;
+    for endpoint in ENDPOINTS {
+        let mut samples: Vec<u64> = results
+            .iter()
+            .flat_map(|r| r.latencies_us[endpoint.index()].iter().copied())
+            .collect();
+        samples.sort_unstable();
+        total_requests += samples.len() as u64;
+        endpoints.push(EndpointStats {
+            label: endpoint.label(),
+            requests: samples.len() as u64,
+            p50_ms: percentile_ms(&samples, 0.50),
+            p99_ms: percentile_ms(&samples, 0.99),
+            max_ms: samples.last().map(|&us| us as f64 / 1000.0),
+        });
+    }
+    let sum = |f: fn(&WorkerResult) -> u64| results.iter().map(f).sum::<u64>();
+    let http_429 = sum(|r| r.http_429);
+    LoadgenSummary {
+        measured_seconds,
+        total_requests,
+        throughput_rps: if measured_seconds > 0.0 {
+            total_requests as f64 / measured_seconds
+        } else {
+            0.0
+        },
+        http_2xx: sum(|r| r.http_2xx),
+        http_4xx: sum(|r| r.http_4xx),
+        http_429,
+        http_5xx: sum(|r| r.http_5xx),
+        io_errors: sum(|r| r.io_errors),
+        shed_rate: if total_requests > 0 {
+            http_429 as f64 / total_requests as f64
+        } else {
+            0.0
+        },
+        endpoints,
+    }
+}
+
+/// Nearest-rank percentile over sorted latency samples, in milliseconds.
+fn percentile_ms(sorted_us: &[u64], q: f64) -> Option<f64> {
+    if sorted_us.is_empty() {
+        return None;
+    }
+    let rank = (q * (sorted_us.len() as f64 - 1.0)).round() as usize;
+    Some(sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        let run: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(run, (0..8).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert!(run.iter().any(|&x| x != 0));
+        // The zero seed is remapped instead of sticking at zero.
+        assert_ne!(XorShift64::new(0).next_u64(), 0);
+    }
+
+    #[test]
+    fn mix_strings_parse_by_name() {
+        let mix = parse_mix("predict=4,hazard=2,influencers=1,ingest=1").unwrap();
+        assert_eq!(mix, [4, 2, 1, 1]);
+        let partial = parse_mix("hazard=9").unwrap();
+        assert_eq!(partial, [0, 9, 0, 0]);
+        assert!(parse_mix("warp=1").is_err());
+        assert!(parse_mix("predict=x").is_err());
+        assert!(parse_mix("predict=0").is_err());
+    }
+
+    #[test]
+    fn weighted_pick_respects_zero_weights() {
+        let mix = [0, 5, 0, 0];
+        let total: u64 = mix.iter().map(|&w| w as u64).sum();
+        let mut rng = XorShift64::new(3);
+        for _ in 0..64 {
+            assert_eq!(pick_endpoint(&mut rng, &mix, total), Endpoint::Hazard);
+        }
+    }
+
+    #[test]
+    fn request_bodies_stay_in_node_range() {
+        let mut rng = XorShift64::new(11);
+        for _ in 0..32 {
+            for endpoint in ENDPOINTS {
+                let (_, _, body) = build_request(endpoint, &mut rng, 3);
+                if let Some(body) = body {
+                    // All node literals must be 0..3.
+                    for bad in ["\"node\":3", "\"node\":4", "[3,", ",3]"] {
+                        assert!(!body.contains(bad), "{body}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_models_get_single_infection_ingests() {
+        let mut rng = XorShift64::new(5);
+        let (_, _, body) = build_request(Endpoint::Ingest, &mut rng, 1);
+        let body = body.unwrap();
+        assert!(body.contains(r#"{"node":0,"time":0.0}"#), "{body}");
+        assert!(!body.contains("\"time\":1.0"), "{body}");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_in_ms() {
+        let sorted: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile_ms(&sorted, 0.50), Some(51.0));
+        assert_eq!(percentile_ms(&sorted, 0.99), Some(99.0));
+        assert_eq!(percentile_ms(&sorted, 1.0), Some(100.0));
+        assert_eq!(percentile_ms(&[], 0.5), None);
+    }
+
+    #[test]
+    fn summary_attrs_cover_the_bench_schema() {
+        let results = vec![WorkerResult {
+            latencies_us: [vec![1000, 2000], vec![3000], vec![], vec![]],
+            http_2xx: 2,
+            http_4xx: 0,
+            http_429: 1,
+            http_5xx: 0,
+            io_errors: 0,
+        }];
+        let summary = summarise(&results, 2.0);
+        assert_eq!(summary.total_requests, 3);
+        assert!((summary.throughput_rps - 1.5).abs() < 1e-9);
+        assert!((summary.shed_rate - 1.0 / 3.0).abs() < 1e-9);
+        let json = JsonValue::Obj(summary.attrs()).render();
+        for needle in [
+            "\"throughput_rps\":",
+            "\"http_429\":1",
+            "\"shed_rate\":",
+            "\"endpoints\":{\"predict\":{\"requests\":2",
+            "\"influencers\":{\"requests\":0,\"p50_ms\":null",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

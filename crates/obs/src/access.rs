@@ -1,0 +1,133 @@
+//! Structured JSONL access log for request-serving daemons.
+//!
+//! One [`AccessRecord`] per handled request, rendered as one compact
+//! JSON object per line. The writer flushes after every append so a
+//! `tail -f` sees requests as they happen and a crash loses at most the
+//! line being written. The schema is flat on purpose — every value a
+//! log pipeline might filter on (status, endpoint, trace ID) is a
+//! top-level key.
+
+use crate::json::JsonValue;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identifies the access-log line format; bump on breaking changes.
+pub const ACCESS_LOG_SCHEMA: &str = "viralcast-access-log/v1";
+
+/// One handled request, borrowed from the serving call site.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessRecord<'a> {
+    /// HTTP method (`GET`, `POST`, …).
+    pub method: &'a str,
+    /// Request path as received (no query string).
+    pub path: &'a str,
+    /// Response status code.
+    pub status: u16,
+    /// Model snapshot version the response was computed from (0 when
+    /// the request never touched the model, e.g. a parse error).
+    pub snapshot_version: u64,
+    /// Wall-clock handling latency in microseconds.
+    pub latency_us: u64,
+    /// The request's trace ID (accepted or generated).
+    pub trace_id: &'a str,
+}
+
+/// An append-only JSONL access log.
+pub struct AccessLog {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl AccessLog {
+    /// Creates (truncating) the log at `path`, making parent directories
+    /// as needed.
+    pub fn create(path: &Path) -> io::Result<AccessLog> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(AccessLog {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&self, record: &AccessRecord<'_>) {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let line = JsonValue::obj(vec![
+            ("schema", ACCESS_LOG_SCHEMA.into()),
+            ("unix_ms", unix_ms.into()),
+            ("method", record.method.into()),
+            ("path", record.path.into()),
+            ("status", JsonValue::U64(record.status as u64)),
+            ("snapshot_version", record.snapshot_version.into()),
+            ("latency_us", record.latency_us.into()),
+            ("trace_id", record.trace_id.into()),
+        ])
+        .render();
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessLog").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_one_json_object_per_line() {
+        let dir =
+            std::env::temp_dir().join(format!("viralcast-obs-access-test-{}", std::process::id()));
+        let path = dir.join("nested/access.jsonl");
+        let log = AccessLog::create(&path).unwrap();
+        log.append(&AccessRecord {
+            method: "GET",
+            path: "/healthz",
+            status: 200,
+            snapshot_version: 1,
+            latency_us: 120,
+            trace_id: "abc-1",
+        });
+        log.append(&AccessRecord {
+            method: "POST",
+            path: "/v1/predict",
+            status: 400,
+            snapshot_version: 0,
+            latency_us: 37,
+            trace_id: "abc-2",
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, needles) in lines.iter().zip([
+            vec![
+                r#""schema":"viralcast-access-log/v1""#,
+                r#""method":"GET""#,
+                r#""path":"/healthz""#,
+                r#""status":200"#,
+                r#""snapshot_version":1"#,
+                r#""latency_us":120"#,
+                r#""trace_id":"abc-1""#,
+            ],
+            vec![r#""status":400"#, r#""trace_id":"abc-2""#],
+        ]) {
+            for needle in needles {
+                assert!(line.contains(needle), "{needle} missing from {line}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,15 +40,20 @@
 //! assert!(report.to_json().render().contains("cooccurrence"));
 //! ```
 
+mod access;
 mod events;
 mod json;
 mod metrics;
 mod report;
 mod span;
 
+pub use access::{AccessLog, AccessRecord, ACCESS_LOG_SCHEMA};
 pub use events::{debug, info, logger, warn, Event, JsonlSink, Level, Logger, Sink, StderrSink};
 pub use json::JsonValue;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    exponential_bounds, prometheus_label_value, prometheus_name, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
 pub use report::{RunReport, RUN_REPORT_SCHEMA};
 pub use span::{global_timings, Recorder, RecorderGuard, Span, SpanGuard, StageTimings};
 

@@ -185,6 +185,59 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Interpolated quantile estimate from the bucket counts.
+    ///
+    /// The rank `q * count` is located in its bucket and linearly
+    /// interpolated across that bucket's span. Spans are clamped to the
+    /// tracked `[min, max]`, so a single observation returns exactly that
+    /// observation and the unbounded overflow bucket interpolates between
+    /// the last bound and `max` instead of running off to infinity.
+    /// Returns `None` for an empty histogram or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            let through = below + in_bucket;
+            if in_bucket > 0 && rank <= through as f64 {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                if upper <= lower {
+                    return Some(lower.clamp(self.min, self.max));
+                }
+                let frac = ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0);
+                return Some((lower + frac * (upper - lower)).clamp(self.min, self.max));
+            }
+            below = through;
+        }
+        Some(self.max)
+    }
+
+    /// Interpolated median (`quantile(0.5)`).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Interpolated 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.9)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
             (
@@ -255,7 +308,8 @@ impl MetricsSnapshot {
     /// `/metrics` endpoint returns. Dotted registry names become
     /// underscore-separated metric names; histogram buckets are emitted
     /// cumulatively with `le` labels plus the `+Inf` total, `_sum`, and
-    /// `_count` series.
+    /// `_count` series; label values are escaped per the format's
+    /// `\\` / `\"` / `\n` rules.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -273,7 +327,8 @@ impl MetricsSnapshot {
             let mut cumulative = 0u64;
             for (i, bound) in h.bounds.iter().enumerate() {
                 cumulative += h.buckets.get(i).copied().unwrap_or(0);
-                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                let le = prometheus_label_value(&format!("{bound}"));
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
             }
             cumulative += h.buckets.get(h.bounds.len()).copied().unwrap_or(0);
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
@@ -283,10 +338,32 @@ impl MetricsSnapshot {
     }
 }
 
+/// Strictly increasing exponential bucket bounds: `count` values
+/// starting at `start` and multiplying by `factor` — the standard shape
+/// for latency histograms, where resolution should track magnitude.
+///
+/// # Panics
+/// Panics if `start <= 0`, `factor <= 1`, or `count == 0` — any of those
+/// would produce a non-monotone (hence invalid) bound ladder.
+pub fn exponential_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(
+        start > 0.0 && factor > 1.0 && count > 0,
+        "exponential_bounds needs start > 0, factor > 1, count > 0 \
+         (got start={start}, factor={factor}, count={count})"
+    );
+    let mut bounds = Vec::with_capacity(count);
+    let mut bound = start;
+    for _ in 0..count {
+        bounds.push(bound);
+        bound *= factor;
+    }
+    bounds
+}
+
 /// Maps a registry name onto the Prometheus grammar
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters (the `.` separators
 /// used here) become `_`, and a leading digit gets a `_` prefix.
-fn prometheus_name(name: &str) -> String {
+pub fn prometheus_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 1);
     for (i, c) in name.chars().enumerate() {
         let valid =
@@ -302,6 +379,22 @@ fn prometheus_name(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// Escapes a string for use inside a quoted Prometheus label value:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`
+/// (exposition format 0.0.4). Everything else passes through.
+pub fn prometheus_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
     }
     out
 }
@@ -364,6 +457,22 @@ impl MetricsRegistry {
                 .entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
         )
+    }
+
+    /// The histogram registered under `name`, created with
+    /// [`exponential_bounds`]`(start, factor, count)` on first use —
+    /// the usual constructor for latency histograms.
+    pub fn histogram_exponential(
+        &self,
+        name: &str,
+        start: f64,
+        factor: f64,
+        count: usize,
+    ) -> Arc<Histogram> {
+        if let Some(h) = read_or_recover(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        self.histogram(name, &exponential_bounds(start, factor, count))
     }
 
     /// Zeroes every registered metric in place — existing handles stay
@@ -538,6 +647,107 @@ mod tests {
         assert_eq!(prometheus_name("9lives"), "_9lives");
         assert_eq!(prometheus_name("a-b c"), "a_b_c");
         assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        // 100 observations spread uniformly over (0, 10]: every quantile
+        // sits in the first bucket, interpolated between min and bound.
+        for i in 1..=100 {
+            h.record(i as f64 / 10.0);
+        }
+        let s = h.snapshot();
+        let p50 = s.p50().unwrap();
+        assert!((p50 - 5.0).abs() < 0.2, "p50 ≈ 5, got {p50}");
+        let p99 = s.p99().unwrap();
+        assert!((p99 - 9.9).abs() < 0.2, "p99 ≈ 9.9, got {p99}");
+        // Quantiles are monotone in q and bracketed by min/max.
+        assert!(s.quantile(0.0).unwrap() >= s.min);
+        assert!(s.p50().unwrap() <= s.p90().unwrap());
+        assert!(s.p90().unwrap() <= s.p99().unwrap());
+        assert!(s.quantile(1.0).unwrap() <= s.max);
+    }
+
+    #[test]
+    fn quantile_hits_exact_bounds() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        // Two observations at the bucket bounds themselves: the median
+        // rank falls on the first bucket's edge.
+        h.record(1.0);
+        h.record(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let s = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p99(), None);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range_q() {
+        let h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(-0.01), None);
+        assert_eq!(s.quantile(1.01), None);
+        assert_eq!(s.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_is_bounded_by_max() {
+        let h = Histogram::new(&[1.0]);
+        // Everything overflows the last bound; interpolation must use
+        // the tracked max, not run off to infinity.
+        for v in [5.0, 7.0, 9.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p99 = s.p99().unwrap();
+        assert!((1.0..=9.0).contains(&p99), "p99 within [bound, max]: {p99}");
+        assert_eq!(s.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_that_observation() {
+        let h = Histogram::new(&[10.0, 100.0]);
+        h.record(42.0);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(42.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn exponential_bounds_are_geometric_and_strict() {
+        let b = exponential_bounds(0.5, 2.0, 5);
+        assert_eq!(b, vec![0.5, 1.0, 2.0, 4.0, 8.0]);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential_bounds")]
+    fn exponential_bounds_reject_flat_ladders() {
+        exponential_bounds(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn exponential_histograms_register_once() {
+        let r = MetricsRegistry::new();
+        let h1 = r.histogram_exponential("lat", 1.0, 2.0, 3);
+        let h2 = r.histogram_exponential("lat", 9.0, 9.0, 9);
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h1.snapshot().bounds, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(prometheus_label_value("plain"), "plain");
+        assert_eq!(prometheus_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

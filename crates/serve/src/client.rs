@@ -1,6 +1,6 @@
 //! A one-shot HTTP client, just big enough to exercise the daemon.
 //!
-//! Used by the integration tests and the serving example; not a general
+//! Used by the integration tests and the loadgen harness; not a general
 //! HTTP client. One request per connection, mirroring the server's
 //! `Connection: close` contract.
 
@@ -8,13 +8,26 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A parsed response: status code plus body text.
+/// A parsed response: status code, headers, and body text.
 #[derive(Clone, Debug)]
 pub struct ClientResponse {
     /// HTTP status code from the status line.
     pub status: u16,
+    /// Response header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
     /// Response body, decoded as UTF-8 (lossily).
     pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Sends one request and reads the full response.
@@ -27,15 +40,29 @@ pub fn request(
     target: &str,
     body: Option<&str>,
 ) -> io::Result<ClientResponse> {
+    request_with_headers(addr, method, target, body, &[])
+}
+
+/// Like [`request`], with extra request headers (e.g. `X-Request-Id`).
+pub fn request_with_headers(
+    addr: &SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+) -> io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     let payload = body.unwrap_or("");
-    write!(
-        stream,
-        "{method} {target} HTTP/1.1\r\nHost: viralcast\r\nContent-Length: {}\r\n\r\n{payload}",
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: viralcast\r\nContent-Length: {}\r\n",
         payload.len()
-    )?;
+    );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    write!(stream, "{head}\r\n{payload}")?;
     stream.flush()?;
 
     // `Connection: close` framing: the response ends when the peer closes.
@@ -52,9 +79,21 @@ pub fn request(
                 format!("malformed response status line: {:?}", text.lines().next()),
             )
         })?;
-    let body = match text.find("\r\n\r\n") {
-        Some(i) => text[i + 4..].to_string(),
-        None => String::new(),
+    let (head, body) = match text.find("\r\n\r\n") {
+        Some(i) => (&text[..i], text[i + 4..].to_string()),
+        None => (&text[..], String::new()),
     };
-    Ok(ClientResponse { status, body })
+    let headers = head
+        .split("\r\n")
+        .skip(1) // the status line
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }

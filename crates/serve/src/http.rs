@@ -240,6 +240,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra `(name, value)` headers written after the fixed ones —
+    /// the worker attaches `X-Request-Id` here.
+    pub extra_headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -250,6 +253,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
             body: value.render().into_bytes(),
         }
     }
@@ -259,8 +263,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Appends one extra header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
     }
 
     /// A JSON error envelope: `{"error": message}`.
@@ -275,12 +286,16 @@ impl Response {
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -427,6 +442,18 @@ mod tests {
         assert!(text.contains("Content-Length: 5\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .with_header("X-Request-Id", "trace-7")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: trace-7\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok"), "{text}");
     }
 
     #[test]

@@ -5,9 +5,16 @@
 //! a client outpacing the trainer degrades to load-shedding (dropped
 //! cascades are counted, and the ingest response reports them) instead of
 //! unbounded memory growth.
+//!
+//! Alongside the cascades, the buffer keeps one [`TraceMark`] per
+//! admitted ingest request — the request's trace ID, how many of its
+//! cascades were admitted, and when. The trainer carries the marks
+//! through retraining so a publish can report, per trace, the
+//! acked-to-served latency (`serve.ingest_to_publish_ms`).
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
 use viralcast_obs as obs;
 use viralcast_propagation::Cascade;
 
@@ -22,11 +29,45 @@ pub struct IngestReceipt {
     pub buffered: usize,
 }
 
+/// One admitted ingest request awaiting retraining.
+#[derive(Clone, Debug)]
+pub struct TraceMark {
+    /// The ingest request's trace ID.
+    pub trace_id: String,
+    /// How many of its cascades were admitted.
+    pub cascades: usize,
+    /// When the batch was acked into the buffer.
+    pub enqueued: Instant,
+}
+
+/// Everything one trainer drain removed: the cascades plus the trace
+/// marks of the requests that contributed them.
+#[derive(Clone, Debug, Default)]
+pub struct DrainedBatch {
+    /// Drained cascades in FIFO order.
+    pub cascades: Vec<Cascade>,
+    /// Trace marks of the contributing ingests, in arrival order.
+    pub traces: Vec<TraceMark>,
+}
+
+impl DrainedBatch {
+    /// Whether nothing was drained.
+    pub fn is_empty(&self) -> bool {
+        self.cascades.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<Cascade>,
+    traces: Vec<TraceMark>,
+}
+
 /// A bounded FIFO of cascades awaiting retraining.
 #[derive(Debug)]
 pub struct IngestBuffer {
     capacity: usize,
-    queue: Mutex<VecDeque<Cascade>>,
+    inner: Mutex<Inner>,
 }
 
 impl IngestBuffer {
@@ -34,7 +75,7 @@ impl IngestBuffer {
     pub fn new(capacity: usize) -> Self {
         IngestBuffer {
             capacity: capacity.max(1),
-            queue: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(Inner::default()),
         }
     }
 
@@ -45,7 +86,11 @@ impl IngestBuffer {
 
     /// Current buffer depth.
     pub fn len(&self) -> usize {
-        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
     }
 
     /// Whether the buffer is empty.
@@ -53,21 +98,32 @@ impl IngestBuffer {
         self.len() == 0
     }
 
-    /// Appends a batch, shedding whatever exceeds the capacity.
-    pub fn push_batch(&self, cascades: Vec<Cascade>) -> IngestReceipt {
+    /// Appends a batch, shedding whatever exceeds the capacity. When
+    /// `trace_id` is given and at least one cascade is admitted, a
+    /// [`TraceMark`] rides along to the next drain.
+    pub fn push_batch(&self, cascades: Vec<Cascade>, trace_id: Option<&str>) -> IngestReceipt {
         let total = cascades.len();
-        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        let room = self.capacity.saturating_sub(queue.len());
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let room = self.capacity.saturating_sub(inner.queue.len());
         let accepted = total.min(room);
         for c in cascades.into_iter().take(accepted) {
-            queue.push_back(c);
+            inner.queue.push_back(c);
+        }
+        if accepted > 0 {
+            if let Some(trace_id) = trace_id {
+                inner.traces.push(TraceMark {
+                    trace_id: trace_id.to_string(),
+                    cascades: accepted,
+                    enqueued: Instant::now(),
+                });
+            }
         }
         let receipt = IngestReceipt {
             accepted,
             dropped: total - accepted,
-            buffered: queue.len(),
+            buffered: inner.queue.len(),
         };
-        drop(queue);
+        drop(inner);
         obs::metrics()
             .counter("serve.ingest.accepted")
             .incr(receipt.accepted as u64);
@@ -84,24 +140,37 @@ impl IngestBuffer {
     /// replay of the durable log only. Shedding here would silently
     /// drop events the daemon already acked in a previous life; the
     /// buffer may transiently exceed its capacity until the trainer's
-    /// next drain instead.
+    /// next drain instead. The replay is marked with the `boot-replay`
+    /// trace ID.
     pub fn preload(&self, cascades: Vec<Cascade>) {
-        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        queue.extend(cascades);
-        let depth = queue.len();
-        drop(queue);
+        let count = cascades.len();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.queue.extend(cascades);
+        if count > 0 {
+            inner.traces.push(TraceMark {
+                trace_id: "boot-replay".to_string(),
+                cascades: count,
+                enqueued: Instant::now(),
+            });
+        }
+        let depth = inner.queue.len();
+        drop(inner);
         obs::metrics()
             .gauge("serve.ingest.buffered")
             .set(depth as f64);
     }
 
-    /// Removes and returns everything buffered (FIFO order).
-    pub fn drain(&self) -> Vec<Cascade> {
-        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        let out: Vec<Cascade> = queue.drain(..).collect();
-        drop(queue);
+    /// Removes and returns everything buffered (FIFO order) together
+    /// with the trace marks accumulated since the previous drain.
+    pub fn drain(&self) -> DrainedBatch {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let batch = DrainedBatch {
+            cascades: inner.queue.drain(..).collect(),
+            traces: std::mem::take(&mut inner.traces),
+        };
+        drop(inner);
         obs::metrics().gauge("serve.ingest.buffered").set(0.0);
-        out
+        batch
     }
 }
 
@@ -121,7 +190,7 @@ mod tests {
     #[test]
     fn accepts_up_to_capacity_then_sheds() {
         let buf = IngestBuffer::new(3);
-        let r = buf.push_batch(vec![cascade(0), cascade(2)]);
+        let r = buf.push_batch(vec![cascade(0), cascade(2)], None);
         assert_eq!(
             r,
             IngestReceipt {
@@ -130,7 +199,7 @@ mod tests {
                 buffered: 2
             }
         );
-        let r = buf.push_batch(vec![cascade(4), cascade(6), cascade(8)]);
+        let r = buf.push_batch(vec![cascade(4), cascade(6), cascade(8)], None);
         assert_eq!(
             r,
             IngestReceipt {
@@ -145,13 +214,31 @@ mod tests {
     #[test]
     fn drain_empties_in_fifo_order() {
         let buf = IngestBuffer::new(10);
-        buf.push_batch(vec![cascade(0), cascade(5)]);
+        buf.push_batch(vec![cascade(0), cascade(5)], None);
         let drained = buf.drain();
-        assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0].seed().node.0, 0);
-        assert_eq!(drained[1].seed().node.0, 5);
+        assert_eq!(drained.cascades.len(), 2);
+        assert_eq!(drained.cascades[0].seed().node.0, 0);
+        assert_eq!(drained.cascades[1].seed().node.0, 5);
         assert!(buf.is_empty());
         assert!(buf.drain().is_empty());
+    }
+
+    #[test]
+    fn trace_marks_ride_to_the_next_drain() {
+        let buf = IngestBuffer::new(3);
+        buf.push_batch(vec![cascade(0), cascade(2)], Some("req-a"));
+        // Partially shed batches still mark their admitted share.
+        buf.push_batch(vec![cascade(4), cascade(6)], Some("req-b"));
+        // Fully shed batches leave no mark: nothing of theirs publishes.
+        buf.push_batch(vec![cascade(8)], Some("req-c"));
+        let drained = buf.drain();
+        assert_eq!(drained.cascades.len(), 3);
+        let ids: Vec<&str> = drained.traces.iter().map(|t| t.trace_id.as_str()).collect();
+        assert_eq!(ids, vec!["req-a", "req-b"]);
+        assert_eq!(drained.traces[0].cascades, 2);
+        assert_eq!(drained.traces[1].cascades, 1);
+        // The next drain starts with a clean slate.
+        assert!(buf.drain().traces.is_empty());
     }
 
     #[test]
@@ -160,15 +247,18 @@ mod tests {
         buf.preload(vec![cascade(0), cascade(2), cascade(4), cascade(6)]);
         assert_eq!(buf.len(), 4);
         // Over-capacity state drains normally and new pushes shed.
-        assert_eq!(buf.push_batch(vec![cascade(8)]).dropped, 1);
-        assert_eq!(buf.drain().len(), 4);
+        assert_eq!(buf.push_batch(vec![cascade(8)], None).dropped, 1);
+        let drained = buf.drain();
+        assert_eq!(drained.cascades.len(), 4);
+        assert_eq!(drained.traces[0].trace_id, "boot-replay");
+        assert_eq!(drained.traces[0].cascades, 4);
     }
 
     #[test]
     fn zero_capacity_is_clamped_to_one() {
         let buf = IngestBuffer::new(0);
         assert_eq!(buf.capacity(), 1);
-        let r = buf.push_batch(vec![cascade(0), cascade(2)]);
+        let r = buf.push_batch(vec![cascade(0), cascade(2)], None);
         assert_eq!(r.accepted, 1);
         assert_eq!(r.dropped, 1);
     }
@@ -181,7 +271,7 @@ mod tests {
                 let buf = std::sync::Arc::clone(&buf);
                 scope.spawn(move || {
                     for i in 0..20 {
-                        buf.push_batch(vec![cascade(t * 100 + i)]);
+                        buf.push_batch(vec![cascade(t * 100 + i)], Some("concurrent"));
                     }
                 });
             }

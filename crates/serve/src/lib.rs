@@ -14,6 +14,7 @@
 //! - [`snapshot`] — the `Arc`-swapped [`snapshot::ModelSnapshot`] store;
 //! - [`ingest`] — the bounded cascade buffer behind `POST /v1/ingest`;
 //! - [`api`] — endpoint codecs and model evaluation, socket-free;
+//! - [`trace`] — request-scoped trace IDs (accepted or generated);
 //! - [`router`] — `(method, path)` dispatch over [`router::AppState`];
 //! - [`trainer`] — the retraining thread (the learner is injected as a
 //!   [`trainer::RetrainFn`], keeping this crate independent of the
@@ -35,10 +36,11 @@ pub mod router;
 pub mod server;
 pub mod signal;
 pub mod snapshot;
+pub mod trace;
 pub mod trainer;
 
 pub use http::{HttpLimits, Request, Response};
-pub use ingest::{IngestBuffer, IngestReceipt};
+pub use ingest::{DrainedBatch, IngestBuffer, IngestReceipt, TraceMark};
 pub use server::{start, BootRecovery, ServeConfig, ServerHandle};
 pub use signal::install_ctrlc;
 pub use snapshot::{ModelSnapshot, SnapshotStore};

@@ -23,13 +23,17 @@ use crate::http::{self, HttpError, HttpLimits, Response};
 use crate::ingest::IngestBuffer;
 use crate::router::{self, AppState};
 use crate::snapshot::SnapshotStore;
+use crate::trace;
 use crate::trainer::{self, RetrainFn, TrainerConfig};
-
-/// Latency histogram bounds, in milliseconds.
-const LATENCY_BOUNDS_MS: [f64; 10] = [0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
 
 /// How long the acceptor sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Per-endpoint latency histogram: exponential bounds from 250µs to
+/// ~0.5s (12 doublings), resolution tracking magnitude.
+fn latency_histogram(label: &str) -> std::sync::Arc<obs::Histogram> {
+    obs::metrics().histogram_exponential(&format!("serve.http.latency_ms.{label}"), 0.25, 2.0, 12)
+}
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -55,6 +59,9 @@ pub struct ServeConfig {
     pub data_dir: Option<PathBuf>,
     /// WAL tuning (segment size, fsync policy) when `data_dir` is set.
     pub wal: WalOptions,
+    /// Path of the JSONL access log (one line per request). `None`
+    /// disables access logging.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +76,7 @@ impl Default for ServeConfig {
             limits: HttpLimits::default(),
             data_dir: None,
             wal: WalOptions::default(),
+            access_log: None,
         }
     }
 }
@@ -206,12 +214,17 @@ pub fn start(
         // in a previous life and must not be shed.
         ingest.preload(pending);
     }
+    let access_log = match &config.access_log {
+        Some(path) => Some(Arc::new(obs::AccessLog::create(path)?)),
+        None => None,
+    };
     let state = Arc::new(AppState {
         snapshots: Arc::clone(&snapshots),
         ingest: Arc::clone(&ingest),
         store: event_store.clone(),
         shed_retry_after_ms: config.trainer.interval.as_millis().max(1) as u64,
         started: Instant::now(),
+        access_log,
     });
 
     let workers = config.workers.max(1);
@@ -241,13 +254,21 @@ pub fn start(
 
     {
         let shutdown = Arc::clone(&shutdown);
+        let state = Arc::clone(&state);
         let read_timeout = config.read_timeout;
         let write_timeout = config.write_timeout;
         threads.push(
             std::thread::Builder::new()
                 .name("viralcast-acceptor".into())
                 .spawn(move || {
-                    accept_loop(&listener, &tx, &shutdown, read_timeout, write_timeout);
+                    accept_loop(
+                        &listener,
+                        &tx,
+                        &state,
+                        &shutdown,
+                        read_timeout,
+                        write_timeout,
+                    );
                     // `tx` drops here; workers unblock from `recv` and exit.
                 })?,
         );
@@ -272,6 +293,7 @@ pub fn start(
 fn accept_loop(
     listener: &TcpListener,
     tx: &mpsc::SyncSender<TcpStream>,
+    state: &AppState,
     shutdown: &AtomicBool,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -300,8 +322,23 @@ fn accept_loop(
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
                 obs::metrics().counter("serve.http.overload").incr(1);
-                let _ =
-                    Response::error(503, "server overloaded; retry later").write_to(&mut stream);
+                // The request was never read; the shed still gets a
+                // trace ID and an access-log line so overload is
+                // attributable from the client side.
+                let trace_id = trace::generate_trace_id();
+                let _ = Response::error(503, "server overloaded; retry later")
+                    .with_header("X-Request-Id", trace_id.clone())
+                    .write_to(&mut stream);
+                if let Some(log) = &state.access_log {
+                    log.append(&obs::AccessRecord {
+                        method: "-",
+                        path: "-",
+                        status: 503,
+                        snapshot_version: state.snapshots.version(),
+                        latency_us: 0,
+                        trace_id: &trace_id,
+                    });
+                }
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
@@ -323,36 +360,52 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState, limits: &HttpL
     }
 }
 
-/// Reads one request, routes it, writes the response, records metrics.
+/// Reads one request, routes it, writes the response (stamped with the
+/// request's trace ID), records metrics, and appends the access-log
+/// line.
 fn handle_connection(stream: &mut TcpStream, state: &AppState, limits: &HttpLimits) {
     let started = Instant::now();
     obs::metrics().counter("serve.http.requests").incr(1);
-    let response = match http::read_request(stream, limits) {
+    // (method, path) survive for the access log even on routing errors;
+    // a request too malformed to parse logs placeholders.
+    let (response, trace_id, method, path) = match http::read_request(stream, limits) {
         Ok(req) => {
-            let response = router::route(&req, state);
+            let trace_id = trace::trace_id_for(&req);
+            let response = router::route(&req, state, &trace_id);
             let label = router::endpoint_label(&req.path);
-            obs::metrics()
-                .histogram(
-                    &format!("serve.http.latency_ms.{label}"),
-                    &LATENCY_BOUNDS_MS,
-                )
-                .record(started.elapsed().as_secs_f64() * 1e3);
-            response
+            latency_histogram(label).record(started.elapsed().as_secs_f64() * 1e3);
+            (response, trace_id, req.method, req.path)
         }
-        Err(HttpError::BadRequest(m)) => Response::error(400, m),
-        Err(HttpError::HeadTooLarge(limit)) => {
-            Response::error(431, format!("request head exceeds {limit} bytes"))
+        Err(e) => {
+            let response = match e {
+                HttpError::BadRequest(m) => Response::error(400, m),
+                HttpError::HeadTooLarge(limit) => {
+                    Response::error(431, format!("request head exceeds {limit} bytes"))
+                }
+                HttpError::BodyTooLarge(limit) => {
+                    Response::error(413, format!("request body exceeds {limit} bytes"))
+                }
+                // Nothing sensible to answer on a dead transport.
+                HttpError::Io(_) | HttpError::ConnectionClosed => return,
+            };
+            (response, trace::generate_trace_id(), "-".into(), "-".into())
         }
-        Err(HttpError::BodyTooLarge(limit)) => {
-            Response::error(413, format!("request body exceeds {limit} bytes"))
-        }
-        // Nothing sensible to answer on a dead transport.
-        Err(HttpError::Io(_)) | Err(HttpError::ConnectionClosed) => return,
     };
     if response.status >= 400 {
         obs::metrics().counter("serve.http.errors").incr(1);
     }
+    let response = response.with_header("X-Request-Id", trace_id.clone());
     let _ = response.write_to(stream);
+    if let Some(log) = &state.access_log {
+        log.append(&obs::AccessRecord {
+            method: &method,
+            path: &path,
+            status: response.status,
+            snapshot_version: state.snapshots.version(),
+            latency_us: started.elapsed().as_micros() as u64,
+            trace_id: &trace_id,
+        });
+    }
 }
 
 #[cfg(test)]

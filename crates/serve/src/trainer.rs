@@ -25,11 +25,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use viralcast_embed::Embeddings;
-use viralcast_obs::{self as obs, warn};
-use viralcast_propagation::{Cascade, CascadeSet};
+use viralcast_obs::{self as obs, warn, JsonValue};
+use viralcast_propagation::CascadeSet;
 use viralcast_store::EventStore;
 
-use crate::ingest::IngestBuffer;
+use crate::ingest::{DrainedBatch, IngestBuffer};
 use crate::snapshot::SnapshotStore;
 
 /// Warm-start retraining: `(current embeddings, fresh cascades) → new
@@ -111,7 +111,7 @@ fn run(
 fn retrain_once(
     store: &SnapshotStore,
     event_store: Option<&Mutex<EventStore>>,
-    batch: Vec<Cascade>,
+    batch: DrainedBatch,
     covered: Option<u64>,
     retrain: &RetrainFn,
 ) {
@@ -119,8 +119,8 @@ fn retrain_once(
         return;
     }
     let snap = store.current();
-    let count = batch.len();
-    let fresh = CascadeSet::new(snap.embeddings.node_count(), batch);
+    let count = batch.cascades.len();
+    let fresh = CascadeSet::new(snap.embeddings.node_count(), batch.cascades);
     let started = Instant::now();
     match retrain(&snap.embeddings, &fresh) {
         Ok(embeddings) => {
@@ -141,6 +141,7 @@ fn retrain_once(
                 &format!("published snapshot v{version} from {count} cascades in {seconds:.2}s"),
                 &[],
             );
+            report_publish_lag(&batch.traces, version);
             if let (Some(es), Some(offset)) = (event_store, covered) {
                 let published = store.current();
                 let mut guard = es.lock().unwrap_or_else(|e| e.into_inner());
@@ -167,10 +168,44 @@ fn retrain_once(
     }
 }
 
+/// Records, per contributing ingest trace, the acked-to-published
+/// latency of the snapshot that now covers it: the histogram
+/// `serve.ingest_to_publish_ms`, the last-batch gauge
+/// `serve.lag.ingest_to_publish_ms` (the worst lag of this publish),
+/// and one log line joining the trace ID to the snapshot version.
+fn report_publish_lag(traces: &[crate::ingest::TraceMark], version: u64) {
+    let mut worst_ms = 0.0f64;
+    for mark in traces {
+        let lag_ms = mark.enqueued.elapsed().as_secs_f64() * 1e3;
+        worst_ms = worst_ms.max(lag_ms);
+        obs::metrics()
+            .histogram_exponential("serve.ingest_to_publish_ms", 1.0, 2.0, 16)
+            .record(lag_ms);
+        obs::info(
+            "serve.retrain",
+            &format!(
+                "trace {} ({} cascade(s)) covered by snapshot v{version} after {lag_ms:.1}ms",
+                mark.trace_id, mark.cascades
+            ),
+            &[
+                ("trace_id", JsonValue::from(mark.trace_id.as_str())),
+                ("snapshot_version", JsonValue::from(version)),
+                ("lag_ms", JsonValue::from(lag_ms)),
+            ],
+        );
+    }
+    if !traces.is_empty() {
+        obs::metrics()
+            .gauge("serve.lag.ingest_to_publish_ms")
+            .set(worst_ms);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use viralcast_propagation::Infection;
+    use crate::ingest::TraceMark;
+    use viralcast_propagation::{Cascade, Infection};
 
     fn embeddings() -> Embeddings {
         Embeddings::from_matrices(4, 1, vec![0.1; 4], vec![0.1; 4])
@@ -178,6 +213,13 @@ mod tests {
 
     fn cascade() -> Cascade {
         Cascade::new(vec![Infection::new(0u32, 0.0), Infection::new(1u32, 0.3)]).unwrap()
+    }
+
+    fn batch_of(cascades: Vec<Cascade>) -> DrainedBatch {
+        DrainedBatch {
+            cascades,
+            traces: Vec::new(),
+        }
     }
 
     #[test]
@@ -196,7 +238,13 @@ mod tests {
                 emb.selectivity_matrix().to_vec(),
             ))
         });
-        retrain_once(&store, None, vec![cascade(), cascade()], None, &retrain);
+        retrain_once(
+            &store,
+            None,
+            batch_of(vec![cascade(), cascade()]),
+            None,
+            &retrain,
+        );
         let snap = store.current();
         assert_eq!(snap.version, 2);
         assert!((snap.embeddings.influence_matrix()[0] - 1.1).abs() < 1e-12);
@@ -206,7 +254,7 @@ mod tests {
     fn failed_retrain_keeps_the_old_snapshot() {
         let store = SnapshotStore::new(embeddings());
         let retrain: RetrainFn = Box::new(|_, _| Err("synthetic failure".into()));
-        retrain_once(&store, None, vec![cascade()], None, &retrain);
+        retrain_once(&store, None, batch_of(vec![cascade()]), None, &retrain);
         assert_eq!(store.version(), 1);
     }
 
@@ -214,7 +262,7 @@ mod tests {
     fn empty_batch_is_a_no_op() {
         let store = SnapshotStore::new(embeddings());
         let retrain: RetrainFn = Box::new(|_, _| panic!("must not be called"));
-        retrain_once(&store, None, Vec::new(), None, &retrain);
+        retrain_once(&store, None, DrainedBatch::default(), None, &retrain);
         assert_eq!(store.version(), 1);
     }
 
@@ -233,7 +281,13 @@ mod tests {
         let es = Mutex::new(es);
         let store = SnapshotStore::new(embeddings());
         let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
-        retrain_once(&store, Some(&es), vec![cascade()], Some(1), &retrain);
+        retrain_once(
+            &store,
+            Some(&es),
+            batch_of(vec![cascade()]),
+            Some(1),
+            &retrain,
+        );
         assert_eq!(store.version(), 2);
         // The checkpoint landed: reopening recovers snapshot v2 with
         // nothing left pending below the recorded offset.
@@ -242,6 +296,41 @@ mod tests {
         assert_eq!(recovery.snapshot_version(), 2);
         assert!(recovery.pending.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_reports_per_trace_lag() {
+        let store = SnapshotStore::new(embeddings());
+        let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
+        let hist_before = obs::metrics()
+            .histogram_exponential("serve.ingest_to_publish_ms", 1.0, 2.0, 16)
+            .count();
+        let batch = DrainedBatch {
+            cascades: vec![cascade(), cascade()],
+            traces: vec![
+                TraceMark {
+                    trace_id: "lag-a".into(),
+                    cascades: 1,
+                    enqueued: Instant::now(),
+                },
+                TraceMark {
+                    trace_id: "lag-b".into(),
+                    cascades: 1,
+                    enqueued: Instant::now(),
+                },
+            ],
+        };
+        retrain_once(&store, None, batch, None, &retrain);
+        assert_eq!(store.version(), 2);
+        let hist = obs::metrics()
+            .histogram_exponential("serve.ingest_to_publish_ms", 1.0, 2.0, 16)
+            .count();
+        assert_eq!(hist - hist_before, 2, "one lag sample per trace mark");
+        let lag = obs::metrics().gauge("serve.lag.ingest_to_publish_ms").get();
+        assert!(
+            (0.0..60_000.0).contains(&lag),
+            "implausible lag gauge {lag}"
+        );
     }
 
     #[test]
@@ -261,7 +350,7 @@ mod tests {
             },
             Arc::clone(&shutdown),
         );
-        buffer.push_batch(vec![cascade()]);
+        buffer.push_batch(vec![cascade()], Some("trainer-test"));
         let deadline = Instant::now() + Duration::from_secs(5);
         while store.version() < 2 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

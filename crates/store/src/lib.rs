@@ -75,6 +75,10 @@ impl Recovery {
 pub struct EventStore {
     dir: PathBuf,
     wal: Wal,
+    /// First record index **not** covered by the latest checkpoint —
+    /// everything in `[checkpoint_offset, next_index)` is durable but
+    /// not yet folded into a snapshot.
+    checkpoint_offset: u64,
 }
 
 impl EventStore {
@@ -126,13 +130,13 @@ impl EventStore {
             ),
             &[],
         );
-        Ok((
-            EventStore {
-                dir: dir.to_path_buf(),
-                wal,
-            },
-            recovery,
-        ))
+        let store = EventStore {
+            dir: dir.to_path_buf(),
+            wal,
+            checkpoint_offset: offset,
+        };
+        store.set_pending_gauge();
+        Ok((store, recovery))
     }
 
     /// The data directory.
@@ -146,6 +150,19 @@ impl EventStore {
         self.wal.next_index()
     }
 
+    /// Durable records not yet folded into a checkpointed snapshot —
+    /// the WAL lag a dashboard watches to see the trainer falling
+    /// behind ingest.
+    pub fn pending_records(&self) -> u64 {
+        self.wal.next_index().saturating_sub(self.checkpoint_offset)
+    }
+
+    fn set_pending_gauge(&self) {
+        obs::metrics()
+            .gauge("store.wal.pending_records")
+            .set(self.pending_records() as f64);
+    }
+
     /// Appends a batch and commits it under the fsync policy. Once this
     /// returns, the batch is as durable as the policy promises and the
     /// caller may ack it.
@@ -154,6 +171,7 @@ impl EventStore {
             self.wal.append(cascade)?;
         }
         self.wal.commit()?;
+        self.set_pending_gauge();
         Ok(self.wal.next_index())
     }
 
@@ -174,6 +192,8 @@ impl EventStore {
     ) -> io::Result<Manifest> {
         let manifest = save_checkpoint(&self.dir, snapshot_version, wal_offset, embeddings)?;
         self.wal.compact(wal_offset)?;
+        self.checkpoint_offset = self.checkpoint_offset.max(wal_offset);
+        self.set_pending_gauge();
         obs::metrics().counter("store.checkpoint.saves").incr(1);
         obs::metrics()
             .gauge("store.checkpoint.wal_offset")
@@ -291,6 +311,25 @@ mod tests {
         let (_, recovery) = EventStore::open(&dir, options).unwrap();
         assert_eq!(recovery.snapshot_version(), 2);
         assert!(recovery.pending.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pending_records_track_the_checkpoint_frontier() {
+        let dir = tmp_dir("lag");
+        {
+            let (mut store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
+            assert_eq!(store.pending_records(), 0);
+            store.append_batch(&[cascade(0), cascade(10)]).unwrap();
+            assert_eq!(store.pending_records(), 2);
+            store.checkpoint(2, 2, &emb(0.5)).unwrap();
+            assert_eq!(store.pending_records(), 0);
+            store.append_batch(&[cascade(20)]).unwrap();
+            assert_eq!(store.pending_records(), 1);
+        }
+        // A reopen resumes the lag from the manifest, not from zero.
+        let (store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(store.pending_records(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

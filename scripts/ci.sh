@@ -188,6 +188,74 @@ smoke_recovery() {
     echo "crash recovery smoke test OK (port $port, 2 records replayed)"
 }
 
+# Perf harness smoke: boot the daemon with an access log, run a short
+# loadgen burst, and assert BENCH_http.json exists, parses, counts a
+# non-zero number of requests, and saw zero 5xx responses.
+smoke_loadgen() {
+    local tmp fixture log pid port bench
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    fixture="$tmp/embeddings.json"
+    log="$tmp/serve.log"
+    bench="$tmp/BENCH_http.json"
+    write_fixture "$fixture"
+
+    target/release/viralcast serve --embeddings "$fixture" \
+        --addr 127.0.0.1:0 --workers 2 \
+        --access-log "$tmp/access.jsonl" >"$log" 2>&1 &
+    pid=$!
+
+    port="$(await_port "$log")"
+    if [ -z "$port" ] || ! await_health "$port" | grep -q '"status":"ok"'; then
+        echo "daemon never became healthy for loadgen" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    if ! target/release/viralcast loadgen --addr "127.0.0.1:$port" \
+        --workers 2 --warmup 0.5 --duration 2 --seed 7 --out "$bench"; then
+        echo "loadgen run failed" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    kill -INT "$pid"
+    wait "$pid"
+
+    if [ ! -s "$bench" ]; then
+        echo "loadgen produced no $bench" >&2
+        return 1
+    fi
+    # Parse strictly when a JSON parser is around; schema-grep otherwise.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool "$bench" >/dev/null
+    fi
+    if ! grep -q '"schema": *"viralcast-run-report/v1"' "$bench"; then
+        echo "BENCH_http.json is missing the run-report schema" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    if grep -q '"total_requests": *0\b' "$bench"; then
+        echo "loadgen measured zero requests" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    if ! grep -q '"http_5xx": *0\b' "$bench"; then
+        echo "loadgen observed 5xx responses" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    # The access log actually recorded the burst's trace IDs.
+    if ! grep -q '"trace_id":"lg-' "$tmp/access.jsonl"; then
+        echo "access log is missing loadgen trace IDs" >&2
+        head "$tmp/access.jsonl" >&2
+        return 1
+    fi
+    echo "loadgen smoke test OK (port $port)"
+}
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$build" -eq 1 ]; then
@@ -199,6 +267,7 @@ run cargo test -q --workspace
 if [ "$build" -eq 1 ]; then
     run smoke_serve
     run smoke_recovery
+    run smoke_loadgen
 fi
 
 echo

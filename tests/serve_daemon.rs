@@ -1,7 +1,10 @@
 //! End-to-end daemon test: boot `viralcast-serve` on an ephemeral port
 //! with a real inferred model and the real incremental-update pipeline
 //! as its trainer, then drive the full serving loop over HTTP —
-//! health, hazard, predict, ingest, hot swap, metrics, shutdown.
+//! health, hazard, predict, ingest, hot swap, metrics, shutdown — plus
+//! the request-tracing contract: every response carries an
+//! `X-Request-Id`, and each request lands as one line in the JSONL
+//! access log under that same ID.
 
 use std::time::{Duration, Instant};
 use viralnews::viralcast::prelude::*;
@@ -217,4 +220,82 @@ fn daemon_serves_hot_swaps_and_shuts_down() {
     handle.shutdown();
     // The port is released after a clean shutdown.
     assert!(std::net::TcpListener::bind(addr).is_ok());
+}
+
+#[test]
+fn requests_carry_trace_ids_into_the_access_log() {
+    let dir = std::env::temp_dir().join(format!("viralcast-access-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let log_path = dir.join("access.jsonl");
+
+    let embeddings = Embeddings::from_matrices(3, 1, vec![0.5, 0.4, 0.3], vec![0.5, 0.5, 0.5]);
+    let handle = serve::start(
+        embeddings,
+        pipeline_retrain(1),
+        serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            access_log: Some(log_path.clone()),
+            ..serve::ServeConfig::default()
+        },
+    )
+    .expect("daemon boots with an access log");
+    let addr = handle.local_addr();
+
+    // A caller-supplied X-Request-Id is echoed verbatim…
+    let resp = client::request_with_headers(
+        &addr,
+        "GET",
+        "/healthz",
+        None,
+        &[("X-Request-Id", "trace-e2e-1")],
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-request-id"), Some("trace-e2e-1"));
+    // …and the widened health body reports build info, uptime, lag and
+    // per-endpoint quantiles.
+    for needle in [
+        "\"build_info\":{\"version\":",
+        "\"uptime_seconds\":",
+        "\"wal_pending_records\":null",
+        "\"ingest_to_publish_ms\":",
+        "\"endpoints\":",
+    ] {
+        assert!(
+            resp.body.contains(needle),
+            "{needle} missing: {}",
+            resp.body
+        );
+    }
+
+    // Requests without an ID get a generated one.
+    let generated = client::request(&addr, "POST", "/v1/hazard", Some(r#"{"pairs":[[0,1]]}"#))
+        .unwrap()
+        .header("x-request-id")
+        .expect("generated trace id")
+        .to_string();
+    assert!(!generated.is_empty());
+    assert_ne!(generated, "trace-e2e-1");
+
+    handle.shutdown();
+
+    // Both requests landed in the access log under their trace IDs.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    assert!(log.lines().count() >= 2, "{log}");
+    for needle in [
+        "viralcast-access-log/v1",
+        "\"trace_id\":\"trace-e2e-1\"",
+        "\"path\":\"/healthz\"",
+        "\"path\":\"/v1/hazard\"",
+        "\"latency_us\":",
+        "\"snapshot_version\":",
+    ] {
+        assert!(log.contains(needle), "{needle} missing from {log}");
+    }
+    assert!(
+        log.contains(&format!("\"trace_id\":\"{generated}\"")),
+        "generated id {generated} missing from {log}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
