@@ -110,6 +110,7 @@ fn run() -> Result<(), CliError> {
             "serve" => serve_cmd(&flags)?,
             "loadgen" => loadgen_cmd(&flags)?,
             "bench-hotpath" => bench_hotpath_cmd(&flags)?,
+            "chaos" => chaos_cmd(&flags)?,
             _ => unreachable!("validated by command_flags"),
         }
     };
@@ -146,6 +147,9 @@ USAGE:
                            [--warmup SECS] [--mix SPEC] [--seed S] [--out FILE]
   viralcast bench-hotpath  [--nodes N] [--topics K] [--iterations I]
                            [--seed S] [--out FILE]
+  viralcast chaos          --embeddings FILE --data-dir DIR [--workers N]
+                           [--cycles C] [--steady SECS]
+                           [--recovery-timeout SECS] [--seed S] [--out FILE]
 
 SERVE:
   Runs the online prediction daemon: GET /healthz, GET /metrics,
@@ -182,6 +186,18 @@ BENCH-HOTPATH:
   synthetic --nodes × --topics model (default 2000×8) for --iterations
   scans (default 400); --out FILE (default BENCH_hotpath.json) gets the
   report, including a determinism checksum.
+
+CHAOS:
+  Spawns a durable serve child over --data-dir (must be empty), drives
+  it with --workers ingest-heavy closed-loop workers whose cascades
+  carry their sequence numbers, and SIGKILLs + restarts it --cycles
+  times (default 3) after --steady seconds of load each (default 2).
+  After a final kill it replays the data dir in-process: every acked
+  ingest must be recovered, any 5xx after recovery fails the run, and
+  each restart must answer /healthz within --recovery-timeout seconds
+  (default 30). --out FILE (default BENCH_chaos.json) gets kill cycles,
+  recovery p50/p99, acked-vs-recovered counts, shed rate, and the
+  steady-vs-disrupted p99 degradation ratio.
 
 OBSERVABILITY (all commands):
   --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
@@ -255,6 +271,16 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("nodes", true),
             ("topics", true),
             ("iterations", true),
+            ("seed", true),
+            ("out", true),
+        ],
+        "chaos" => &[
+            ("embeddings", true),
+            ("data-dir", true),
+            ("workers", true),
+            ("cycles", true),
+            ("steady", true),
+            ("recovery-timeout", true),
             ("seed", true),
             ("out", true),
         ],
@@ -724,6 +750,107 @@ fn bench_hotpath_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let attrs: Attrs = summary.attrs();
     save_bench_report("bench-hotpath", &attrs, &out)?;
     println!("bench report written to {}", out.display());
+    Ok(attrs)
+}
+
+fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::chaos;
+
+    let defaults = chaos::ChaosConfig::default();
+    let steady = flags.f64("steady", defaults.steady.as_secs_f64())?;
+    let recovery_timeout =
+        flags.f64("recovery-timeout", defaults.recovery_timeout.as_secs_f64())?;
+    if !steady.is_finite() || steady <= 0.0 {
+        return Err(usage_err("--steady must be a positive number of seconds"));
+    }
+    if !recovery_timeout.is_finite() || recovery_timeout <= 0.0 {
+        return Err(usage_err(
+            "--recovery-timeout must be a positive number of seconds",
+        ));
+    }
+    let cycles = flags.u64("cycles", u64::from(defaults.cycles))?;
+    if cycles == 0 {
+        return Err(usage_err("--cycles must be positive"));
+    }
+    let config = chaos::ChaosConfig {
+        embeddings: flags.require_path("embeddings")?,
+        data_dir: flags.require_path("data-dir")?,
+        workers: flags.usize("workers", defaults.workers)?,
+        cycles: cycles.min(10_000) as u32,
+        steady: std::time::Duration::from_secs_f64(steady),
+        recovery_timeout: std::time::Duration::from_secs_f64(recovery_timeout),
+        seed: flags.u64("seed", defaults.seed)?,
+    };
+    let out = flags
+        .opt_path("out")
+        .unwrap_or_else(|| PathBuf::from("BENCH_chaos.json"));
+
+    println!(
+        "chaos: {} worker(s), {} kill cycle(s), {steady:.1}s steady load each…",
+        config.workers, config.cycles
+    );
+    let summary = {
+        let _span = Span::enter("chaos");
+        viralcast::chaos::run(&config).map_err(runtime_err)?
+    };
+
+    let cell = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.2}"));
+    println!(
+        "{} kill cycle(s): recovery p50 {} ms, p99 {} ms",
+        summary.kill_cycles,
+        cell(summary.recovery_p50_ms),
+        cell(summary.recovery_p99_ms)
+    );
+    println!(
+        "acked {} / recovered {} ({} missing), {} shed (rate {:.3}), \
+         {} io errors, {} retries",
+        summary.acked,
+        summary.recovered,
+        summary.missing.len(),
+        summary.shed,
+        summary.shed_rate,
+        summary.io_errors,
+        summary.retries
+    );
+    println!(
+        "latency p99: steady {} ms vs disrupted {} ms (degradation {}), \
+         {} 5xx after recovery",
+        cell(summary.steady_p99_ms),
+        cell(summary.disrupted_p99_ms),
+        summary
+            .p99_degradation
+            .map_or("-".to_string(), |x| format!("{x:.1}×")),
+        summary.post_recovery_5xx
+    );
+
+    let attrs: Attrs = summary.attrs();
+    save_bench_report("chaos", &attrs, &out)?;
+    println!("bench report written to {}", out.display());
+
+    if !summary.missing.is_empty() {
+        let preview: Vec<String> = summary
+            .missing
+            .iter()
+            .take(10)
+            .map(u64::to_string)
+            .collect();
+        return Err(runtime_err(format!(
+            "durability loss: {} acked ingest(s) missing after replay (seq {}{})",
+            summary.missing.len(),
+            preview.join(", "),
+            if summary.missing.len() > 10 {
+                ", …"
+            } else {
+                ""
+            }
+        )));
+    }
+    if summary.post_recovery_5xx > 0 {
+        return Err(runtime_err(format!(
+            "{} request(s) answered 5xx after the daemon reported healthy",
+            summary.post_recovery_5xx
+        )));
+    }
     Ok(attrs)
 }
 

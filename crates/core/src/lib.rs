@@ -22,6 +22,10 @@
 //!   `viralcast loadgen` and `viralcast bench-hotpath`: closed-loop HTTP
 //!   load against a live daemon, and a microbenchmark of the hazard
 //!   candidate scan. Both write machine-readable `BENCH_*.json` reports.
+//! * [`chaos`] — the kill-loop resilience harness behind
+//!   `viralcast chaos`: repeated SIGKILL/restart of a child daemon under
+//!   load, with a final on-disk replay asserting zero acked-event loss
+//!   (`BENCH_chaos.json`).
 //! * [`prelude`] — one-line imports for the common types.
 //!
 //! # Quickstart
@@ -51,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod hotpath;
 pub mod influencers;

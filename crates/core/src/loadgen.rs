@@ -18,7 +18,11 @@
 //!
 //! The harness reuses [`viralcast_serve::client`] — the same
 //! std-only one-connection-per-request client the integration tests use
-//! — and needs nothing outside the workspace.
+//! — and needs nothing outside the workspace. Each exchange goes through
+//! [`client::request_with_retry`], so connection resets, mid-response
+//! EOFs, and 429/503 responses are absorbed with capped, jittered
+//! backoff; the retries spent are reported separately so a run against a
+//! flapping daemon is visibly different from a clean one.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -200,8 +204,11 @@ pub struct LoadgenSummary {
     pub http_429: u64,
     /// 5xx responses.
     pub http_5xx: u64,
-    /// Requests that failed below HTTP (connect/read/write errors).
+    /// Requests that failed below HTTP (connect/read/write errors)
+    /// even after the retry budget was spent.
     pub io_errors: u64,
+    /// Extra attempts the retry layer issued on top of first tries.
+    pub retries: u64,
     /// `http_429 / total_requests` (0 when no requests).
     pub shed_rate: f64,
     /// Per-endpoint latency quantiles, in [`ENDPOINTS`] order.
@@ -237,6 +244,7 @@ impl LoadgenSummary {
             ("http_429".into(), self.http_429.into()),
             ("http_5xx".into(), self.http_5xx.into()),
             ("io_errors".into(), self.io_errors.into()),
+            ("retries".into(), self.retries.into()),
             ("shed_rate".into(), self.shed_rate.into()),
             ("endpoints".into(), endpoints),
         ]
@@ -257,6 +265,7 @@ struct WorkerResult {
     http_429: u64,
     http_5xx: u64,
     io_errors: u64,
+    retries: u64,
 }
 
 /// Probes `GET /healthz` and returns the served model's node count —
@@ -332,6 +341,10 @@ fn worker_loop(
     let total_weight: u64 = mix.iter().map(|&w| w as u64).sum();
     let mut result = WorkerResult::default();
     let mut seq = 0u64;
+    let policy = client::RetryPolicy {
+        jitter_seed: seed,
+        ..client::RetryPolicy::default()
+    };
     loop {
         match phase.load(Ordering::SeqCst) {
             PHASE_STOP => break,
@@ -342,12 +355,13 @@ fn worker_loop(
         let trace_id = format!("lg-{worker}-{seq:x}");
         seq += 1;
         let started = Instant::now();
-        let outcome = client::request_with_headers(
+        let outcome = client::request_with_retry(
             &addr,
             method,
             &target,
             body.as_deref(),
             &[("X-Request-Id", &trace_id)],
+            &policy,
         );
         // Samples count only when the whole exchange fit inside the
         // measurement window.
@@ -355,10 +369,11 @@ fn worker_loop(
             continue;
         }
         match outcome {
-            Ok(resp) => {
+            Ok(retried) => {
+                result.retries += u64::from(retried.retries());
                 result.latencies_us[endpoint.index()]
                     .push(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
-                match resp.status {
+                match retried.response.status {
                     200..=299 => result.http_2xx += 1,
                     429 => result.http_429 += 1,
                     400..=499 => result.http_4xx += 1,
@@ -366,7 +381,10 @@ fn worker_loop(
                     _ => result.http_4xx += 1,
                 }
             }
-            Err(_) => result.io_errors += 1,
+            Err(_) => {
+                result.retries += u64::from(policy.max_attempts.saturating_sub(1));
+                result.io_errors += 1;
+            }
         }
     }
     result
@@ -460,6 +478,7 @@ fn summarise(results: &[WorkerResult], measured_seconds: f64) -> LoadgenSummary 
         http_429,
         http_5xx: sum(|r| r.http_5xx),
         io_errors: sum(|r| r.io_errors),
+        retries: sum(|r| r.retries),
         shed_rate: if total_requests > 0 {
             http_429 as f64 / total_requests as f64
         } else {
@@ -470,7 +489,8 @@ fn summarise(results: &[WorkerResult], measured_seconds: f64) -> LoadgenSummary 
 }
 
 /// Nearest-rank percentile over sorted latency samples, in milliseconds.
-fn percentile_ms(sorted_us: &[u64], q: f64) -> Option<f64> {
+/// Shared with the chaos harness.
+pub(crate) fn percentile_ms(sorted_us: &[u64], q: f64) -> Option<f64> {
     if sorted_us.is_empty() {
         return None;
     }
@@ -557,15 +577,18 @@ mod tests {
             http_429: 1,
             http_5xx: 0,
             io_errors: 0,
+            retries: 2,
         }];
         let summary = summarise(&results, 2.0);
         assert_eq!(summary.total_requests, 3);
+        assert_eq!(summary.retries, 2);
         assert!((summary.throughput_rps - 1.5).abs() < 1e-9);
         assert!((summary.shed_rate - 1.0 / 3.0).abs() < 1e-9);
         let json = JsonValue::Obj(summary.attrs()).render();
         for needle in [
             "\"throughput_rps\":",
             "\"http_429\":1",
+            "\"retries\":2",
             "\"shed_rate\":",
             "\"endpoints\":{\"predict\":{\"requests\":2",
             "\"influencers\":{\"requests\":0,\"p50_ms\":null",

@@ -1,0 +1,557 @@
+//! Hostile-world scenario regimes over the synthetic GDELT world.
+//!
+//! [`crate::generator`] builds a *benign* world: events arrive at a flat
+//! rate, every site exists from hour zero, and every mention is
+//! observed. The paper's whole subject is the opposite regime — viral
+//! bursts orders of magnitude over baseline — and a production daemon
+//! additionally faces timezone cycles, outlets appearing mid-stream, and
+//! holes in its observation feed. This module composes those hostilities
+//! onto a generated world, all deterministic given the caller's RNG:
+//!
+//! * **Flash crowds** ([`FlashCrowd`]) — windows where the event arrival
+//!   intensity is multiplied by a configured magnitude, globally or in
+//!   one region.
+//! * **Diurnal cycles** ([`DiurnalCycle`]) — sinusoidal intensity
+//!   modulation with a per-region phase offset, so "morning in the US"
+//!   is not "morning in Australia".
+//! * **Site churn** ([`SiteChurn`]) — a fraction of sites is born
+//!   mid-stream; a site never seeds or adopts an event before its birth
+//!   hour.
+//! * **Censored windows** ([`CensorWindow`]) — absolute-time spans whose
+//!   mentions are dropped from the *observed* table (the events still
+//!   happened; the feed just missed them).
+//!
+//! [`ScenarioTimeline::generate`] samples event arrivals from the
+//! composed intensity (Poisson per region-hour), seeds each event
+//! popularity-proportionally among the sites already born in its region,
+//! simulates the cascade on the world's graph, and splits the result
+//! into ground truth ([`TimelineEvent`]) and the censored observation
+//! ([`ScenarioTimeline::observed`]).
+
+use crate::generator::{sample_cdf, GdeltWorld};
+use crate::records::{Mention, MentionTable};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use viralcast_graph::NodeId;
+use viralcast_propagation::{Cascade, Infection, SimulationConfig, Simulator};
+
+/// A burst window multiplying the baseline event intensity.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Absolute hour the burst begins.
+    pub start_hour: f64,
+    /// How long it lasts.
+    pub duration_hours: f64,
+    /// Intensity multiplier over baseline (≥ 1). Overlapping bursts do
+    /// not stack: the largest applicable magnitude wins.
+    pub magnitude: f64,
+    /// Restrict the burst to one region (index 0–3), or `None` for a
+    /// world-wide story.
+    pub region: Option<usize>,
+}
+
+impl FlashCrowd {
+    fn applies(&self, region: usize, hour: f64) -> bool {
+        self.region.is_none_or(|r| r == region)
+            && hour >= self.start_hour
+            && hour < self.start_hour + self.duration_hours
+    }
+}
+
+/// Sinusoidal day/night intensity modulation, phase-shifted per region.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DiurnalCycle {
+    /// Modulation depth in `[0, 1)`: intensity swings between
+    /// `1 − amplitude` and `1 + amplitude` times baseline.
+    pub amplitude: f64,
+    /// Cycle length (24 for a day).
+    pub period_hours: f64,
+    /// Phase offset per region (US, EU, AU, Mixed) in hours — the
+    /// timezone shift between the regions' local mornings.
+    pub region_phase_hours: [f64; 4],
+}
+
+impl Default for DiurnalCycle {
+    fn default() -> Self {
+        DiurnalCycle {
+            amplitude: 0.6,
+            period_hours: 24.0,
+            // Rough UTC offsets of the paper's regional blocks.
+            region_phase_hours: [-5.0, 1.0, 10.0, 0.0],
+        }
+    }
+}
+
+impl DiurnalCycle {
+    fn factor(&self, region: usize, hour: f64) -> f64 {
+        let phase = (hour + self.region_phase_hours[region]) / self.period_hours;
+        (1.0 + self.amplitude * (std::f64::consts::TAU * phase).sin()).max(0.0)
+    }
+}
+
+/// Sites appearing mid-stream instead of existing from hour zero.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SiteChurn {
+    /// Fraction of sites born after the stream starts.
+    pub late_fraction: f64,
+    /// Late births are uniform in `(0, spread_hours]`.
+    pub spread_hours: f64,
+}
+
+/// An absolute-time span the observation feed missed: mentions inside it
+/// are dropped from the observed table.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CensorWindow {
+    /// Start of the blackout (absolute hour, inclusive).
+    pub start_hour: f64,
+    /// End of the blackout (absolute hour, exclusive).
+    pub end_hour: f64,
+}
+
+impl CensorWindow {
+    fn contains(&self, hour: f64) -> bool {
+        hour >= self.start_hour && hour < self.end_hour
+    }
+}
+
+/// The composed hostile-world configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Length of the simulated stream.
+    pub horizon_hours: f64,
+    /// Baseline event arrivals per hour across all regions (split by the
+    /// world's region weights).
+    pub base_events_per_hour: f64,
+    /// Burst windows, if any.
+    pub flash_crowds: Vec<FlashCrowd>,
+    /// Day/night modulation, if any.
+    pub diurnal: Option<DiurnalCycle>,
+    /// Mid-stream site births, if any.
+    pub churn: Option<SiteChurn>,
+    /// Observation blackouts, if any.
+    pub censored: Vec<CensorWindow>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            horizon_hours: 48.0,
+            base_events_per_hour: 10.0,
+            flash_crowds: Vec::new(),
+            diurnal: None,
+            churn: None,
+            censored: Vec::new(),
+        }
+    }
+}
+
+/// One event on the timeline: when and where it broke, plus its true
+/// (churn-filtered, uncensored) cascade with times relative to
+/// `start_hour`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// Index into the timeline (and the observed mention table).
+    pub event: u32,
+    /// Absolute hour the seed outlet broke the story.
+    pub start_hour: f64,
+    /// Region (0–3) the event was seeded in.
+    pub region: usize,
+    /// The ground-truth cascade (relative times; the seed is at 0).
+    pub cascade: Cascade,
+}
+
+/// A generated hostile-world stream: ground truth plus the censored
+/// observation of it.
+#[derive(Clone, Debug)]
+pub struct ScenarioTimeline {
+    events: Vec<TimelineEvent>,
+    birth_hours: Vec<f64>,
+    observed: MentionTable,
+    horizon_hours: f64,
+}
+
+impl ScenarioTimeline {
+    /// Generates a timeline over `world`. Everything — arrivals, births,
+    /// seeds, cascades — is drawn from `rng`, so the same world and seed
+    /// reproduce the identical stream.
+    pub fn generate<R: Rng>(
+        world: &GdeltWorld,
+        config: &ScenarioConfig,
+        rng: &mut R,
+    ) -> ScenarioTimeline {
+        let sites = world.sites();
+        let n = sites.len();
+
+        // --- Births. Default: everyone exists from hour zero.
+        let mut birth_hours = vec![0.0f64; n];
+        if let Some(churn) = &config.churn {
+            for birth in birth_hours.iter_mut() {
+                if rng.gen_range(0.0..1.0) < churn.late_fraction {
+                    *birth = rng.gen_range(0.0..churn.spread_hours.max(f64::MIN_POSITIVE));
+                }
+            }
+        }
+
+        // --- Arrivals: an inhomogeneous Poisson process per region,
+        // sampled hour by hour so bursts and cycles compose by simple
+        // multiplication of the bucket intensity.
+        let weights = world.config().region_weights;
+        let total_weight: f64 = weights.iter().sum();
+        let buckets = config.horizon_hours.ceil().max(0.0) as usize;
+        let mut arrivals: Vec<(f64, usize)> = Vec::new();
+        for bucket in 0..buckets {
+            let mid = bucket as f64 + 0.5;
+            for (region, weight) in weights.iter().enumerate() {
+                let mut intensity = config.base_events_per_hour * (weight / total_weight);
+                if let Some(diurnal) = &config.diurnal {
+                    intensity *= diurnal.factor(region, mid);
+                }
+                let burst = config
+                    .flash_crowds
+                    .iter()
+                    .filter(|f| f.applies(region, mid))
+                    .map(|f| f.magnitude)
+                    .fold(1.0, f64::max);
+                intensity *= burst;
+                for _ in 0..poisson(intensity, rng) {
+                    let t = bucket as f64 + rng.gen_range(0.0..1.0);
+                    if t < config.horizon_hours {
+                        arrivals.push((t, region));
+                    }
+                }
+            }
+        }
+        arrivals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        // --- Seed, simulate, churn-filter, censor.
+        let sim_config = SimulationConfig {
+            observation_window: world.config().observation_hours,
+            max_cascade_size: None,
+            min_cascade_size: 1,
+            max_retries: 0,
+        };
+        let simulator = Simulator::new(world.graph(), world.ground_truth().clone(), sim_config);
+        let regions = world.region_labels();
+        let mut events = Vec::with_capacity(arrivals.len());
+        let mut observed = Vec::new();
+        for (start_hour, region) in arrivals {
+            // Popularity-proportional draw over the sites of this region
+            // that exist at `start_hour` (falling back to any born site
+            // when the region's are all unborn).
+            let seed = match born_cdf_draw(sites, &regions, &birth_hours, region, start_hour, rng) {
+                Some(seed) => seed,
+                None => continue,
+            };
+            let cascade = simulator.simulate_from(NodeId::new(seed), rng);
+            // A site cannot adopt a story before it exists: drop
+            // infections that land before the adopter's birth.
+            let alive: Vec<Infection> = cascade
+                .infections()
+                .iter()
+                .filter(|inf| birth_hours[inf.node.index()] <= start_hour + inf.time)
+                .copied()
+                .collect();
+            let cascade = match Cascade::new(alive) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let event = events.len() as u32;
+            for inf in cascade.infections() {
+                let absolute = start_hour + inf.time;
+                if config.censored.iter().any(|w| w.contains(absolute)) {
+                    continue;
+                }
+                observed.push(Mention {
+                    site: inf.node,
+                    event,
+                    hour: inf.time,
+                });
+            }
+            events.push(TimelineEvent {
+                event,
+                start_hour,
+                region,
+                cascade,
+            });
+        }
+
+        let observed = MentionTable::new(n, events.len(), observed);
+        ScenarioTimeline {
+            events,
+            birth_hours,
+            observed,
+            horizon_hours: config.horizon_hours,
+        }
+    }
+
+    /// The ground-truth events, in arrival order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Birth hour of every site (0 for sites alive from the start).
+    pub fn birth_hours(&self) -> &[f64] {
+        &self.birth_hours
+    }
+
+    /// The censored observation: what a feed consumer actually saw.
+    /// Mention hours stay relative to their event's true origin.
+    pub fn observed(&self) -> &MentionTable {
+        &self.observed
+    }
+
+    /// Stream length this timeline was generated for.
+    pub fn horizon_hours(&self) -> f64 {
+        self.horizon_hours
+    }
+
+    /// Events whose seed broke in `[from, to)` — the arrival count a
+    /// burst-bound check compares against baseline.
+    pub fn arrivals_in(&self, from: f64, to: f64) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.start_hour >= from && e.start_hour < to)
+            .count()
+    }
+}
+
+/// Draws a site popularity-proportionally among those born by `hour` in
+/// `region`, falling back to the whole born population, or `None` when
+/// nothing has been born yet.
+fn born_cdf_draw<R: Rng>(
+    sites: &[crate::site::NewsSite],
+    regions: &[usize],
+    birth_hours: &[f64],
+    region: usize,
+    hour: f64,
+    rng: &mut R,
+) -> Option<usize> {
+    let scoped = |restrict: bool| -> (Vec<usize>, Vec<f64>) {
+        let mut members = Vec::new();
+        let mut cdf = Vec::new();
+        let mut acc = 0.0;
+        for (u, site) in sites.iter().enumerate() {
+            if birth_hours[u] <= hour && (!restrict || regions[u] == region) {
+                acc += site.popularity;
+                members.push(u);
+                cdf.push(acc);
+            }
+        }
+        (members, cdf)
+    };
+    let (members, cdf) = scoped(true);
+    if !members.is_empty() {
+        return Some(members[sample_cdf(&cdf, rng)]);
+    }
+    let (members, cdf) = scoped(false);
+    if !members.is_empty() {
+        return Some(members[sample_cdf(&cdf, rng)]);
+    }
+    None
+}
+
+/// Poisson draw: Knuth's product-of-uniforms for small intensities, a
+/// rounded normal approximation for large ones (where exp(−λ)
+/// underflows).
+fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (lambda + lambda.sqrt() * gauss).round().max(0.0) as usize;
+    }
+    let limit = (-lambda).exp();
+    let mut count = 0usize;
+    let mut product: f64 = rng.gen_range(0.0..1.0);
+    while product > limit {
+        count += 1;
+        product *= rng.gen_range(0.0..1.0);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GdeltConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> GdeltWorld {
+        let mut rng = StdRng::seed_from_u64(1);
+        GdeltWorld::generate(GdeltConfig::small(), &mut rng)
+    }
+
+    fn hostile_config() -> ScenarioConfig {
+        ScenarioConfig {
+            horizon_hours: 36.0,
+            base_events_per_hour: 8.0,
+            flash_crowds: vec![FlashCrowd {
+                start_hour: 12.0,
+                duration_hours: 4.0,
+                magnitude: 12.0,
+                region: None,
+            }],
+            diurnal: Some(DiurnalCycle::default()),
+            churn: Some(SiteChurn {
+                late_fraction: 0.5,
+                spread_hours: 24.0,
+            }),
+            censored: vec![CensorWindow {
+                start_hour: 5.0,
+                end_hour: 9.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn same_seed_yields_the_identical_stream() {
+        let w = world();
+        let config = hostile_config();
+        let a = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(7));
+        let b = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.birth_hours(), b.birth_hours());
+        assert_eq!(a.observed().mentions(), b.observed().mentions());
+        // A different seed actually changes the stream (the regimes are
+        // driven by the RNG, not fixed).
+        let c = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn flash_crowd_magnitude_stays_within_configured_bounds() {
+        let w = world();
+        let config = ScenarioConfig {
+            horizon_hours: 30.0,
+            base_events_per_hour: 8.0,
+            flash_crowds: vec![FlashCrowd {
+                start_hour: 10.0,
+                duration_hours: 4.0,
+                magnitude: 12.0,
+                region: None,
+            }],
+            ..ScenarioConfig::default()
+        };
+        let timeline = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(21));
+        let burst = timeline.arrivals_in(10.0, 14.0) as f64 / 4.0;
+        let baseline =
+            (timeline.arrivals_in(0.0, 10.0) + timeline.arrivals_in(14.0, 30.0)) as f64 / 26.0;
+        assert!(baseline > 0.0, "no baseline arrivals");
+        let ratio = burst / baseline;
+        // The burst rate must reflect the magnitude — well above
+        // baseline, and no higher than the configured multiplier plus
+        // Poisson slack.
+        assert!(ratio > 6.0, "burst ratio {ratio} too small");
+        assert!(ratio < 18.0, "burst ratio {ratio} exceeds the magnitude");
+        let cap = config.base_events_per_hour * 12.0 * 4.0 * 1.5;
+        assert!((timeline.arrivals_in(10.0, 14.0) as f64) < cap);
+    }
+
+    #[test]
+    fn regional_flash_crowd_spares_other_regions() {
+        let w = world();
+        let config = ScenarioConfig {
+            horizon_hours: 20.0,
+            base_events_per_hour: 10.0,
+            flash_crowds: vec![FlashCrowd {
+                start_hour: 5.0,
+                duration_hours: 10.0,
+                magnitude: 15.0,
+                region: Some(0),
+            }],
+            ..ScenarioConfig::default()
+        };
+        let timeline = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(22));
+        let in_burst: Vec<_> = timeline
+            .events()
+            .iter()
+            .filter(|e| e.start_hour >= 5.0 && e.start_hour < 15.0)
+            .collect();
+        let region0 = in_burst.iter().filter(|e| e.region == 0).count();
+        let others = in_burst.len() - region0;
+        assert!(
+            region0 > others * 3,
+            "burst should concentrate in region 0: {region0} vs {others}"
+        );
+    }
+
+    #[test]
+    fn churned_sites_never_adopt_before_birth() {
+        let w = world();
+        let timeline =
+            ScenarioTimeline::generate(&w, &hostile_config(), &mut StdRng::seed_from_u64(31));
+        let births = timeline.birth_hours();
+        let late = births.iter().filter(|&&b| b > 0.0).count();
+        assert!(late > 100, "churn produced only {late} late births");
+        for event in timeline.events() {
+            for inf in event.cascade.infections() {
+                assert!(
+                    births[inf.node.index()] <= event.start_hour + inf.time + 1e-9,
+                    "site {} adopted at {} before its birth at {}",
+                    inf.node.index(),
+                    event.start_hour + inf.time,
+                    births[inf.node.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn censored_windows_hold_no_observed_mentions() {
+        let w = world();
+        let config = hostile_config();
+        let timeline = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(41));
+        let events = timeline.events();
+        let mut censored_truth = 0usize;
+        for mention in timeline.observed().mentions() {
+            let absolute = events[mention.event as usize].start_hour + mention.hour;
+            assert!(
+                !(5.0..9.0).contains(&absolute),
+                "observed mention at censored hour {absolute}"
+            );
+        }
+        // The blackout actually removed something: ground truth has
+        // mentions inside the window.
+        for event in events {
+            for inf in event.cascade.infections() {
+                if (5.0..9.0).contains(&(event.start_hour + inf.time)) {
+                    censored_truth += 1;
+                }
+            }
+        }
+        assert!(censored_truth > 0, "censor window removed nothing");
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_beat_troughs() {
+        let w = world();
+        let config = ScenarioConfig {
+            horizon_hours: 96.0,
+            base_events_per_hour: 12.0,
+            diurnal: Some(DiurnalCycle {
+                amplitude: 0.9,
+                period_hours: 24.0,
+                region_phase_hours: [0.0; 4],
+            }),
+            ..ScenarioConfig::default()
+        };
+        let timeline = ScenarioTimeline::generate(&w, &config, &mut StdRng::seed_from_u64(51));
+        // With a shared phase, sin((t/24)·2π) peaks around hour 6 and
+        // troughs around hour 18 of each day.
+        let mut peak = 0usize;
+        let mut trough = 0usize;
+        for day in 0..4 {
+            let base = day as f64 * 24.0;
+            peak += timeline.arrivals_in(base + 4.0, base + 8.0);
+            trough += timeline.arrivals_in(base + 16.0, base + 20.0);
+        }
+        assert!(
+            peak > trough * 2,
+            "diurnal modulation missing: peak {peak} vs trough {trough}"
+        );
+    }
+}

@@ -1,8 +1,14 @@
 //! A one-shot HTTP client, just big enough to exercise the daemon.
 //!
-//! Used by the integration tests and the loadgen harness; not a general
-//! HTTP client. One request per connection, mirroring the server's
-//! `Connection: close` contract.
+//! Used by the integration tests, the loadgen harness, and the chaos
+//! harness; not a general HTTP client. One request per connection,
+//! mirroring the server's `Connection: close` contract.
+//!
+//! [`request_with_retry`] layers transient-failure handling on top:
+//! connection resets, mid-response EOFs, and 429/503 responses are
+//! retried with capped, jittered exponential backoff instead of
+//! surfacing to the caller — during a chaos run one daemon restart must
+//! not poison a whole worker's statistics.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -68,22 +74,32 @@ pub fn request_with_headers(
     // `Connection: close` framing: the response ends when the peer closes.
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let status = text
+    parse_response(&raw)
+}
+
+/// Parses a raw `Connection: close` response, detecting a peer that died
+/// mid-body: when `Content-Length` promises more bytes than arrived, the
+/// response is truncated and surfaces as `UnexpectedEof` (a transient
+/// error [`request_with_retry`] will retry) instead of silently handing
+/// the caller a cut-off body.
+fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n");
+    let (head_bytes, body_bytes) = match header_end {
+        Some(i) => (&raw[..i], &raw[i + 4..]),
+        None => (raw, &raw[raw.len()..]),
+    };
+    let head = String::from_utf8_lossy(head_bytes);
+    let status = head
         .split(' ')
         .nth(1)
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("malformed response status line: {:?}", text.lines().next()),
+                format!("malformed response status line: {:?}", head.lines().next()),
             )
         })?;
-    let (head, body) = match text.find("\r\n\r\n") {
-        Some(i) => (&text[..i], text[i + 4..].to_string()),
-        None => (&text[..], String::new()),
-    };
-    let headers = head
+    let headers: Vec<(String, String)> = head
         .split("\r\n")
         .skip(1) // the status line
         .filter_map(|line| {
@@ -91,9 +107,196 @@ pub fn request_with_headers(
             Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
         })
         .collect();
+    let promised = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    if header_end.is_none() && promised.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "response cut off inside its headers",
+        ));
+    }
+    if let Some(promised) = promised {
+        if body_bytes.len() < promised {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "response truncated mid-body: got {} of {promised} byte(s)",
+                    body_bytes.len()
+                ),
+            ));
+        }
+    }
     Ok(ClientResponse {
         status,
         headers,
-        body,
+        body: String::from_utf8_lossy(body_bytes).into_owned(),
     })
+}
+
+/// How [`request_with_retry`] paces itself across transient failures:
+/// connection errors (refused/reset/EOF mid-response) and 429/503
+/// responses back off exponentially from `base_backoff`, capped at
+/// `max_backoff`, with deterministic jitter derived from `jitter_seed`
+/// so concurrent workers do not retry in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound any single backoff is capped to.
+    pub max_backoff: Duration,
+    /// Seed for the jitter; vary it per worker.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based): exponential,
+    /// capped, scaled into `[50 %, 100 %]` by deterministic jitter.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(
+                1u32.checked_shl(retry.saturating_sub(1))
+                    .unwrap_or(u32::MAX),
+            )
+            .min(self.max_backoff);
+        let jitter = splitmix64(self.jitter_seed ^ u64::from(retry));
+        // Map the hash into [0.5, 1.0).
+        let scale = 0.5 + (jitter >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(scale)
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A response that survived the retry loop, with the attempt count the
+/// caller folds into its stats.
+#[derive(Clone, Debug)]
+pub struct Retried {
+    /// The final response (its status may still be 429/503 when the
+    /// budget ran out while the server kept shedding).
+    pub response: ClientResponse,
+    /// Requests actually issued (1 = the first try succeeded).
+    pub attempts: u32,
+}
+
+impl Retried {
+    /// Retries spent on this exchange.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Whether a response status is worth retrying: the server is alive but
+/// shedding (429) or momentarily unavailable (503).
+pub fn transient_status(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// [`request_with_headers`] wrapped in capped, jittered retry.
+///
+/// Transport errors (connect refused while a daemon restarts, connection
+/// reset, EOF mid-response) and 429/503 responses are retried up to
+/// `policy.max_attempts`. The last transport error is returned only when
+/// every attempt failed; a final 429/503 is returned as a normal
+/// response so the caller can count it as shed load rather than a
+/// transport failure.
+pub fn request_with_retry(
+    addr: &SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+) -> io::Result<Retried> {
+    let attempts_budget = policy.max_attempts.max(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = request_with_headers(addr, method, target, body, headers);
+        let last = attempts >= attempts_budget;
+        match outcome {
+            Ok(response) if transient_status(response.status) && !last => {}
+            Ok(response) => return Ok(Retried { response, attempts }),
+            Err(e) if last => return Err(e),
+            Err(_) => {}
+        }
+        std::thread::sleep(policy.backoff(attempts));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_detects_a_body_truncated_mid_response() {
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n0123456789";
+        let ok = parse_response(full).unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, "0123456789");
+
+        let cut = &full[..full.len() - 4];
+        let err = parse_response(cut).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let headless = b"HTTP/1.1 200 OK\r\nContent-Le";
+        let err = parse_response(headless).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        for retry in 1..=8 {
+            let b = policy.backoff(retry);
+            assert!(b <= Duration::from_millis(100), "retry {retry}: {b:?}");
+            assert!(b >= Duration::from_millis(5), "retry {retry}: {b:?}");
+        }
+        // Deterministic for a seed, different across seeds.
+        assert_eq!(policy.backoff(3), policy.backoff(3));
+        let other = RetryPolicy {
+            jitter_seed: 8,
+            ..policy
+        };
+        assert_ne!(policy.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_attempt_budget() {
+        // A port with no listener: every attempt fails fast.
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 1,
+        };
+        let err = request_with_retry(&addr, "GET", "/healthz", None, &[], &policy);
+        assert!(err.is_err());
+    }
 }

@@ -39,8 +39,10 @@ pub mod snapshot;
 pub mod trace;
 pub mod trainer;
 
+pub use client::{request_with_retry, transient_status, ClientResponse, Retried, RetryPolicy};
 pub use http::{HttpLimits, Request, Response};
 pub use ingest::{DrainedBatch, IngestBuffer, IngestReceipt, TraceMark};
+pub use router::DegradeThresholds;
 pub use server::{start, BootRecovery, ServeConfig, ServerHandle};
 pub use signal::install_ctrlc;
 pub use snapshot::{ModelSnapshot, SnapshotStore};

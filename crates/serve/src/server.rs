@@ -62,6 +62,8 @@ pub struct ServeConfig {
     /// Path of the JSONL access log (one line per request). `None`
     /// disables access logging.
     pub access_log: Option<PathBuf>,
+    /// When `/healthz` reports `degraded` instead of `ok`.
+    pub degrade: router::DegradeThresholds,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +79,7 @@ impl Default for ServeConfig {
             data_dir: None,
             wal: WalOptions::default(),
             access_log: None,
+            degrade: router::DegradeThresholds::default(),
         }
     }
 }
@@ -138,9 +141,20 @@ impl ServerHandle {
     }
 
     /// Waits for all threads to exit. Call after `request_shutdown`.
+    ///
+    /// Joining the trainer first means an in-flight checkpoint finishes
+    /// before this returns; the final WAL sync then closes the window an
+    /// `FsyncPolicy::Interval` log leaves between the last acked batch
+    /// and its fsync — a graceful stop must never lose acked records.
     pub fn join(mut self) {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(store) = &self.event_store {
+            let mut guard = store.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = guard.sync() {
+                obs::warn("serve", &format!("final WAL sync failed: {e}"), &[]);
+            }
         }
     }
 
@@ -225,6 +239,7 @@ pub fn start(
         shed_retry_after_ms: config.trainer.interval.as_millis().max(1) as u64,
         started: Instant::now(),
         access_log,
+        degrade: config.degrade,
     });
 
     let workers = config.workers.max(1);
@@ -519,6 +534,45 @@ mod tests {
         assert_eq!(recovery.pending, 1);
         assert_eq!(recovery.snapshot_version, 1);
         assert_eq!(handle.ingest().len(), 1);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graceful_shutdown_flushes_an_interval_policy_wal() {
+        use viralcast_store::FsyncPolicy;
+        let dir =
+            std::env::temp_dir().join(format!("viralcast-serve-flush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = config();
+        cfg.data_dir = Some(dir.clone());
+        // Neither the trainer nor the interval policy would sync on
+        // their own within this test's lifetime.
+        cfg.trainer.interval = Duration::from_secs(3600);
+        cfg.wal = WalOptions {
+            segment_bytes: 8 << 20,
+            fsync: FsyncPolicy::Interval(Duration::from_secs(3600)),
+        };
+
+        let handle = start(embeddings(), identity_retrain(), cfg.clone()).unwrap();
+        let resp = client::request(
+            &handle.local_addr(),
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // The acked record sits in the page cache: no fsync has covered
+        // it yet. The graceful shutdown must run one.
+        let before = obs::metrics().counter("store.wal.fsyncs").get();
+        handle.shutdown();
+        let after = obs::metrics().counter("store.wal.fsyncs").get();
+        assert!(after > before, "shutdown did not fsync the WAL");
+
+        // And the record is durably there on the next boot.
+        let handle = start(embeddings(), identity_retrain(), cfg).unwrap();
+        assert_eq!(handle.recovery().map(|r| r.pending), Some(1));
         handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -25,13 +25,15 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod crc32;
+pub mod fault;
 pub mod wal;
 
 pub use checkpoint::{
     atomic_write, decode_embeddings, encode_embeddings, load_checkpoint, save_checkpoint, Manifest,
 };
 pub use codec::{CodecError, FrameRead};
-pub use wal::{FsyncPolicy, Replay, SequencedCascade, Wal, WalOptions};
+pub use fault::{FaultHandle, FaultKind, FaultPlan};
+pub use wal::{BatchMark, FsyncPolicy, Replay, SequencedCascade, Wal, WalOptions};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -163,14 +165,61 @@ impl EventStore {
             .set(self.pending_records() as f64);
     }
 
+    /// Arms an injectable [`fault::FaultPlan`] on the store's I/O paths
+    /// (WAL appends/fsyncs/rotations and checkpoints), returning the
+    /// handle that reports how many faults fired.
+    pub fn arm_faults(&mut self, plan: FaultPlan) -> FaultHandle {
+        self.wal.arm_faults(plan)
+    }
+
     /// Appends a batch and commits it under the fsync policy. Once this
     /// returns, the batch is as durable as the policy promises and the
     /// caller may ack it.
+    ///
+    /// On failure the partially appended batch is rolled back out of the
+    /// log before the error is returned: the caller will NACK the whole
+    /// batch, so none of its records may survive to be replayed as if
+    /// they had been acked. If the rollback itself fails, the error says
+    /// so — recovery's torn-tail truncation is then the backstop.
     pub fn append_batch(&mut self, cascades: &[Cascade]) -> io::Result<u64> {
+        let mark = self.wal.mark();
+        let mut failure = None;
         for cascade in cascades {
-            self.wal.append(cascade)?;
+            if let Err(e) = self.wal.append(cascade) {
+                failure = Some(e);
+                break;
+            }
         }
-        self.wal.commit()?;
+        let failure = match failure {
+            None => self.wal.commit().err(),
+            failed => failed,
+        };
+        if let Some(e) = failure {
+            let outcome = self.wal.rollback_to(&mark);
+            self.set_pending_gauge();
+            return match outcome {
+                Ok(removed) => {
+                    obs::metrics()
+                        .counter("store.wal.rolled_back_batches")
+                        .incr(1);
+                    obs::warn(
+                        "store",
+                        &format!(
+                            "append batch failed ({e}); rolled back {removed} unacked byte(s)"
+                        ),
+                        &[],
+                    );
+                    Err(e)
+                }
+                Err(rb) => Err(io::Error::new(
+                    e.kind(),
+                    format!(
+                        "{e}; rollback of the unacked batch also failed: {rb} \
+                         (recovery will truncate any torn tail)"
+                    ),
+                )),
+            };
+        }
         self.set_pending_gauge();
         Ok(self.wal.next_index())
     }
@@ -190,6 +239,9 @@ impl EventStore {
         wal_offset: u64,
         embeddings: &Embeddings,
     ) -> io::Result<Manifest> {
+        if self.wal.fault_on_checkpoint() {
+            return Err(fault::injected("checkpoint failure"));
+        }
         let manifest = save_checkpoint(&self.dir, snapshot_version, wal_offset, embeddings)?;
         self.wal.compact(wal_offset)?;
         self.checkpoint_offset = self.checkpoint_offset.max(wal_offset);

@@ -31,6 +31,7 @@ use viralcast_obs as obs;
 use viralcast_propagation::Cascade;
 
 use crate::codec::{self, FrameRead};
+use crate::fault::{self, FaultHandle, FaultKind, FaultPlan};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"VCWALSG1";
@@ -122,6 +123,17 @@ pub struct Wal {
     /// Appends not yet fsynced.
     dirty: bool,
     last_sync: Instant,
+    /// Armed failpoints ([`crate::fault`]); `None` outside tests/chaos.
+    faults: Option<FaultHandle>,
+}
+
+/// Where a batch started, so a mid-batch failure can be unwound. Taken
+/// with [`Wal::mark`] before the first append of the batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchMark {
+    segment_start: u64,
+    segment_len: u64,
+    next_index: u64,
 }
 
 fn segment_path(dir: &Path, start: u64) -> PathBuf {
@@ -220,6 +232,7 @@ impl Wal {
                 next_index,
                 dirty: false,
                 last_sync: Instant::now(),
+                faults: None,
             },
             replay,
         ))
@@ -235,15 +248,51 @@ impl Wal {
         self.next_index
     }
 
+    /// Arms an injectable [`FaultPlan`] on this log's I/O paths,
+    /// returning the shared handle the caller queries for fired counts.
+    /// Arming replaces any earlier plan.
+    pub fn arm_faults(&mut self, plan: FaultPlan) -> FaultHandle {
+        let handle = FaultHandle::arm(plan);
+        self.faults = Some(handle.clone());
+        handle
+    }
+
+    /// Fires an armed checkpoint fault, if any — called by
+    /// [`crate::EventStore::checkpoint`], which owns no plan itself.
+    pub(crate) fn fault_on_checkpoint(&self) -> bool {
+        self.faults.as_ref().is_some_and(FaultHandle::on_checkpoint)
+    }
+
     /// Appends one cascade, returning its record index. The bytes reach
     /// the file before this returns; whether they reach the *disk* is
     /// [`Wal::commit`]'s job.
     pub fn append(&mut self, cascade: &Cascade) -> io::Result<u64> {
-        let framed = codec::frame(&codec::encode_cascade(cascade));
+        let mut framed = codec::frame(&codec::encode_cascade(cascade));
         if self.segment_len + framed.len() as u64 > self.options.segment_bytes
             && self.next_index > self.segment_start
         {
             self.rotate()?;
+        }
+        match self.faults.as_ref().and_then(FaultHandle::on_append) {
+            Some(FaultKind::ShortWrite) => {
+                // Write a strict prefix of the frame — the torn-tail
+                // crash signature — then fail the append.
+                let cut = framed.len() / 2;
+                self.file.write_all(&framed[..cut])?;
+                self.segment_len += cut as u64;
+                self.dirty = true;
+                return Err(fault::injected("short write"));
+            }
+            Some(FaultKind::TornRecord) => {
+                // Write the full frame with its CRC trailer corrupted.
+                let last = framed.len() - 1;
+                framed[last] ^= 0xFF;
+                self.file.write_all(&framed)?;
+                self.segment_len += framed.len() as u64;
+                self.dirty = true;
+                return Err(fault::injected("torn record (CRC mismatch)"));
+            }
+            _ => {}
         }
         self.file.write_all(&framed)?;
         self.segment_len += framed.len() as u64;
@@ -273,6 +322,10 @@ impl Wal {
     /// Forces an fsync of the current segment.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.dirty {
+            if self.faults.as_ref().is_some_and(FaultHandle::on_fsync) {
+                // The log stays dirty: a later sync retries for real.
+                return Err(fault::injected("fsync failure"));
+            }
             self.file.sync_data()?;
             self.dirty = false;
             obs::metrics().counter("store.wal.fsyncs").incr(1);
@@ -284,6 +337,12 @@ impl Wal {
     /// Closes the current segment (synced regardless of policy) and
     /// starts the next one.
     fn rotate(&mut self) -> io::Result<()> {
+        if self.faults.as_ref().is_some_and(FaultHandle::on_rotate) {
+            // Fails before the old segment is closed or the new file
+            // exists, so the log keeps appending to the current segment
+            // once the caller retries.
+            return Err(fault::injected("rotate failure"));
+        }
         self.sync()?;
         let path = segment_path(&self.dir, self.next_index);
         let mut file = OpenOptions::new()
@@ -321,6 +380,54 @@ impl Wal {
                 .incr(removed as u64);
             self.update_segment_gauge()?;
         }
+        Ok(removed)
+    }
+
+    /// Where the log stands right now — take one before the first
+    /// append of a batch so a mid-batch failure can be unwound with
+    /// [`Wal::rollback_to`].
+    pub fn mark(&self) -> BatchMark {
+        BatchMark {
+            segment_start: self.segment_start,
+            segment_len: self.segment_len,
+            next_index: self.next_index,
+        }
+    }
+
+    /// Unwinds every byte appended since `mark` — the partially written
+    /// batch a client was never acked for must not be resurrected by a
+    /// later replay. Segments created after the mark are deleted, the
+    /// marked segment is truncated back to its marked length, and the
+    /// truncation is fsynced before returning. Returns the bytes
+    /// removed from the marked segment.
+    pub fn rollback_to(&mut self, mark: &BatchMark) -> io::Result<u64> {
+        if mark.segment_start != self.segment_start {
+            // The batch crossed one or more rotations: drop the newer
+            // segments wholesale and resume the marked one.
+            for (start, path) in list_segments(&self.dir)? {
+                if start > mark.segment_start {
+                    fs::remove_file(&path)?;
+                }
+            }
+            let path = segment_path(&self.dir, mark.segment_start);
+            self.file = OpenOptions::new().read(true).append(true).open(&path)?;
+            self.segment_start = mark.segment_start;
+            self.segment_len = self.file.metadata()?.len();
+            self.update_segment_gauge()?;
+        }
+        let removed = self.segment_len.saturating_sub(mark.segment_len);
+        self.file.set_len(mark.segment_len)?;
+        // Syncs the truncation (and, as a side effect, every surviving
+        // record in the file) directly — the armed fsync failpoint is
+        // deliberately bypassed so a rollback cannot be re-injected.
+        self.file.sync_data()?;
+        self.segment_len = mark.segment_len;
+        self.next_index = mark.next_index;
+        self.dirty = false;
+        self.last_sync = Instant::now();
+        obs::metrics()
+            .counter("store.wal.rollback_bytes")
+            .incr(removed);
         Ok(removed)
     }
 

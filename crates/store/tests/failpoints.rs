@@ -1,0 +1,233 @@
+//! Failpoint matrix: for every injected fault class — short write, torn
+//! record, fsync failure, rotate failure, checkpoint failure — the store
+//! surfaces a typed error (never a panic), never resurrects records the
+//! caller was not acked for, and resumes service once the fault clears.
+
+use std::path::{Path, PathBuf};
+use viralcast_propagation::{Cascade, Infection};
+use viralcast_store::fault::is_injected;
+use viralcast_store::{EventStore, FaultKind, FaultPlan, FsyncPolicy, Wal, WalOptions};
+
+fn cascade(seed: u32) -> Cascade {
+    Cascade::new(vec![
+        Infection::new(seed, 0.0),
+        Infection::new(seed + 1, 1.0),
+    ])
+    .unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "viralcast-failpoints-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn replayed_seeds(dir: &Path, options: WalOptions) -> Vec<u32> {
+    let (_, recovery) = EventStore::open(dir, options).unwrap();
+    recovery.pending.iter().map(|c| c.seed().node.0).collect()
+}
+
+fn tiny_segments() -> WalOptions {
+    WalOptions {
+        segment_bytes: 64,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+#[test]
+fn short_write_is_rolled_back_and_service_resumes() {
+    let dir = tmp_dir("short");
+    let (mut store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
+    store.append_batch(&[cascade(0), cascade(10)]).unwrap();
+
+    let handle = store.arm_faults(FaultPlan::new().fail(FaultKind::ShortWrite, 1));
+    let err = store.append_batch(&[cascade(20)]).unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(handle.fired(), 1);
+    // The unacked record is gone from the log, not half-written.
+    assert_eq!(store.next_index(), 2);
+
+    // The fault was one-shot: the retried batch lands.
+    store.append_batch(&[cascade(30)]).unwrap();
+    drop(store);
+
+    let (_, recovery) = EventStore::open(&dir, WalOptions::default()).unwrap();
+    // Rollback already cleaned the tail, so recovery truncates nothing.
+    assert_eq!(recovery.truncated_bytes, 0);
+    assert_eq!(replayed_seeds(&dir, WalOptions::default()), vec![0, 10, 30]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_record_is_rolled_back_and_service_resumes() {
+    let dir = tmp_dir("torn");
+    let (mut store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
+    store.append_batch(&[cascade(0)]).unwrap();
+
+    let handle = store.arm_faults(FaultPlan::new().fail(FaultKind::TornRecord, 1));
+    let err = store.append_batch(&[cascade(10)]).unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(handle.fired(), 1);
+    assert_eq!(store.next_index(), 1);
+
+    store.append_batch(&[cascade(20)]).unwrap();
+    drop(store);
+    assert_eq!(replayed_seeds(&dir, WalOptions::default()), vec![0, 20]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_batch_fault_unwinds_the_whole_batch() {
+    let dir = tmp_dir("midbatch");
+    let (mut store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
+    store.append_batch(&[cascade(0), cascade(10)]).unwrap();
+
+    // The second record of the batch tears; the first was written
+    // intact — but the client NACKs the whole batch, so neither may
+    // survive to be replayed as acked data.
+    store.arm_faults(FaultPlan::new().fail(FaultKind::ShortWrite, 2));
+    let err = store
+        .append_batch(&[cascade(20), cascade(30), cascade(40)])
+        .unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(store.next_index(), 2);
+    drop(store);
+    assert_eq!(replayed_seeds(&dir, WalOptions::default()), vec![0, 10]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_before_rollback_truncates_to_the_last_good_record() {
+    // Drive the Wal directly (no EventStore rollback) so the torn bytes
+    // actually hit the reopened log: recovery must truncate, not panic.
+    for kind in [FaultKind::ShortWrite, FaultKind::TornRecord] {
+        let dir = tmp_dir("crash");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalOptions::default(), 0).unwrap();
+            wal.append(&cascade(0)).unwrap();
+            wal.sync().unwrap();
+            wal.arm_faults(FaultPlan::new().fail(kind, 1));
+            let err = wal.append(&cascade(10)).unwrap_err();
+            assert!(is_injected(&err), "{err}");
+            // Simulated crash: no rollback, no final sync.
+            wal.abandon();
+        }
+        let (mut wal, replay) = Wal::open(&dir, WalOptions::default(), 0).unwrap();
+        assert_eq!(replay.records.len(), 1, "{kind:?}");
+        assert!(replay.truncated_bytes > 0, "{kind:?}");
+        // The log is whole again: index 1 is free for the next append.
+        assert_eq!(wal.append(&cascade(20)).unwrap(), 1);
+        wal.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn fsync_failure_fails_the_commit_and_rolls_the_batch_back() {
+    let dir = tmp_dir("fsync");
+    let options = WalOptions {
+        segment_bytes: 8 << 20,
+        fsync: FsyncPolicy::Always,
+    };
+    let (mut store, _) = EventStore::open(&dir, options).unwrap();
+    store.append_batch(&[cascade(0)]).unwrap();
+
+    let handle = store.arm_faults(FaultPlan::new().fail(FaultKind::FsyncFail, 1));
+    // The record reaches the file, but the commit's fsync fails — the
+    // durability promise the ack depends on is broken, so the batch is
+    // rejected and unwound.
+    let err = store.append_batch(&[cascade(10)]).unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(handle.fired(), 1);
+    assert_eq!(store.next_index(), 1);
+
+    store.append_batch(&[cascade(20)]).unwrap();
+    drop(store);
+    assert_eq!(replayed_seeds(&dir, options), vec![0, 20]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rotate_failure_rejects_the_batch_and_the_retry_rotates() {
+    let dir = tmp_dir("rotate");
+    let options = tiny_segments();
+    let (mut store, _) = EventStore::open(&dir, options).unwrap();
+    // One ~36-byte record nearly fills a 64-byte segment, so the next
+    // append must rotate.
+    store.append_batch(&[cascade(0)]).unwrap();
+
+    let handle = store.arm_faults(FaultPlan::new().fail(FaultKind::RotateFail, 1));
+    let err = store.append_batch(&[cascade(10)]).unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(handle.fired(), 1);
+    assert_eq!(store.next_index(), 1);
+
+    // The retry rotates for real and the record lands.
+    store.append_batch(&[cascade(10)]).unwrap();
+    drop(store);
+    assert_eq!(replayed_seeds(&dir, options), vec![0, 10]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cross_segment_rollback_deletes_the_batchs_new_segments() {
+    let dir = tmp_dir("crosseg");
+    let options = tiny_segments();
+    let (mut store, _) = EventStore::open(&dir, options).unwrap();
+    store.append_batch(&[cascade(0)]).unwrap();
+
+    // Each record forces a rotation, so by the time the 4th append
+    // tears, the batch spans several fresh segments — all of which must
+    // vanish with the rollback.
+    store.arm_faults(FaultPlan::new().fail(FaultKind::ShortWrite, 4));
+    let err = store
+        .append_batch(&[cascade(10), cascade(20), cascade(30), cascade(40)])
+        .unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(store.next_index(), 1);
+    assert_eq!(wal_segments(&dir), 1);
+
+    store.append_batch(&[cascade(50)]).unwrap();
+    drop(store);
+    assert_eq!(replayed_seeds(&dir, options), vec![0, 50]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_failure_is_typed_and_the_retry_lands() {
+    let dir = tmp_dir("ckpt");
+    let (mut store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
+    store.append_batch(&[cascade(0), cascade(10)]).unwrap();
+    let emb = viralcast_embed::Embeddings::from_matrices(4, 1, vec![0.5; 4], vec![0.5; 4]);
+
+    let handle = store.arm_faults(FaultPlan::new().fail(FaultKind::CheckpointFail, 1));
+    let err = store.checkpoint(2, 2, &emb).unwrap_err();
+    assert!(is_injected(&err), "{err}");
+    assert_eq!(handle.fired(), 1);
+    // Nothing was committed: the pending frontier is unchanged.
+    assert_eq!(store.pending_records(), 2);
+
+    store.checkpoint(2, 2, &emb).unwrap();
+    assert_eq!(store.pending_records(), 0);
+    drop(store);
+    let (_, recovery) = EventStore::open(&dir, WalOptions::default()).unwrap();
+    assert_eq!(recovery.snapshot_version(), 2);
+    assert!(recovery.pending.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn wal_segments(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("wal-") && name.ends_with(".log")
+        })
+        .count()
+}

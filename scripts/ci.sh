@@ -112,80 +112,56 @@ smoke_serve() {
     echo "serve smoke test OK (port $port)"
 }
 
-# Crash recovery: boot the daemon durable (--data-dir), ack two ingests,
-# SIGKILL it mid-flight, restart on the same directory, and assert the
-# WAL replay count and the served prediction both survive the crash.
-smoke_recovery() {
-    local tmp fixture log pid port ingest predict_before predict_after metrics replayed
+# Kill-loop resilience: `viralcast chaos` spawns a durable serve child,
+# drives it with sequence-tagged ingests, SIGKILLs and restarts it three
+# times, then replays the data dir and exits non-zero on any acked-event
+# loss or 5xx-after-recovery. The leg additionally requires the report
+# to exist, parse, and record the full kill-cycle count with zero loss.
+smoke_chaos() {
+    local tmp fixture bench
     tmp="$(mktemp -d)"
     trap 'rm -rf "$tmp"' RETURN
     fixture="$tmp/embeddings.json"
-    log="$tmp/serve.log"
+    bench="$tmp/BENCH_chaos.json"
     write_fixture "$fixture"
 
-    # Trainer effectively off: the WAL is the only durable copy.
-    target/release/viralcast serve --embeddings "$fixture" \
-        --addr 127.0.0.1:0 --workers 2 \
-        --data-dir "$tmp/data" --fsync always --retrain-interval 3600 >"$log" 2>&1 &
-    pid=$!
-
-    port="$(await_port "$log")"
-    if [ -z "$port" ] || ! await_health "$port" | grep -q '"status":"ok"'; then
-        echo "durable daemon never became healthy" >&2
-        cat "$log" >&2
-        kill "$pid" 2>/dev/null || true
+    if ! target/release/viralcast chaos --embeddings "$fixture" \
+        --data-dir "$tmp/data" --workers 2 --cycles 3 --steady 1 \
+        --recovery-timeout 30 --seed 7 --out "$bench"; then
+        echo "chaos run failed (acked loss, 5xx after recovery, or a dead daemon)" >&2
+        [ -s "$bench" ] && cat "$bench" >&2
         return 1
     fi
 
-    ingest="$(http_post "$port" /v1/ingest '{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}],[{"node":2,"time":0.0},{"node":0,"time":0.5}]]}')"
-    case "$ingest" in
-        *'"accepted":2'*) ;;
-        *)
-            echo "durable ingest was not acked: $ingest" >&2
-            kill "$pid" 2>/dev/null || true
-            return 1
-            ;;
-    esac
-    predict_before="$(http_post "$port" /v1/predict '{"cascade":[{"node":0,"time":0.0}],"top":3}')"
-
-    # Crash hard: no shutdown hooks, no final flush.
-    kill -9 "$pid"
-    wait "$pid" 2>/dev/null || true
-
-    : >"$log"
-    target/release/viralcast serve --embeddings "$fixture" \
-        --addr 127.0.0.1:0 --workers 2 \
-        --data-dir "$tmp/data" --fsync always --retrain-interval 3600 >"$log" 2>&1 &
-    pid=$!
-
-    port="$(await_port "$log")"
-    if [ -z "$port" ] || ! await_health "$port" | grep -q '"status":"ok"'; then
-        echo "daemon never recovered after the crash" >&2
-        cat "$log" >&2
-        kill "$pid" 2>/dev/null || true
+    if [ ! -s "$bench" ]; then
+        echo "chaos produced no $bench" >&2
         return 1
     fi
-
-    metrics="$(http_get "$port" /metrics)"
-    replayed="$(printf '%s' "$metrics" | sed -n 's/^store_wal_replayed_records \([0-9.]*\).*/\1/p')"
-    if [ "${replayed%%.*}" != "2" ]; then
-        echo "expected 2 replayed WAL records, got '${replayed:-none}'" >&2
-        cat "$log" >&2
-        kill "$pid" 2>/dev/null || true
+    # Parse strictly when a JSON parser is around; schema-grep otherwise.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool "$bench" >/dev/null
+    fi
+    if ! grep -q '"schema": *"viralcast-run-report/v1"' "$bench"; then
+        echo "BENCH_chaos.json is missing the run-report schema" >&2
+        cat "$bench" >&2
         return 1
     fi
-
-    predict_after="$(http_post "$port" /v1/predict '{"cascade":[{"node":0,"time":0.0}],"top":3}')"
-    if [ "$predict_after" != "$predict_before" ]; then
-        echo "post-crash prediction diverged" >&2
-        printf 'before: %s\nafter:  %s\n' "$predict_before" "$predict_after" >&2
-        kill "$pid" 2>/dev/null || true
+    if ! grep -q '"kill_cycles": *3\b' "$bench"; then
+        echo "chaos completed fewer than 3 kill cycles" >&2
+        cat "$bench" >&2
         return 1
     fi
-
-    kill -INT "$pid"
-    wait "$pid"
-    echo "crash recovery smoke test OK (port $port, 2 records replayed)"
+    if ! grep -q '"missing": *0\b' "$bench"; then
+        echo "chaos recovered fewer records than were acked" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    if ! grep -q '"post_recovery_5xx": *0\b' "$bench"; then
+        echo "chaos observed 5xx responses after recovery" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    echo "chaos smoke test OK (3 kill cycles, zero acked loss)"
 }
 
 # Perf harness smoke: boot the daemon with an access log, run a short
@@ -266,7 +242,7 @@ fi
 run cargo test -q --workspace
 if [ "$build" -eq 1 ]; then
     run smoke_serve
-    run smoke_recovery
+    run smoke_chaos
     run smoke_loadgen
 fi
 
