@@ -1,0 +1,159 @@
+//! A bounded worker pool for scatter requests.
+//!
+//! The router fans every read out to all shards at once, but never with
+//! unbounded threads: a fixed pool of workers drains a bounded queue,
+//! so a flood of client requests degrades into queueing (and per-shard
+//! deadline misses surface as partial responses) instead of thread
+//! exhaustion. Jobs are plain closures; callers collect results over
+//! their own channels with `recv_timeout` deadlines.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool over a bounded job queue.
+pub struct FanoutPool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FanoutPool {
+    /// Spawns `workers` threads over a queue bounded at
+    /// `workers * 4` pending jobs.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> FanoutPool {
+        assert!(workers > 0, "fan-out pool needs at least one worker");
+        let (tx, rx) = sync_channel::<Job>(workers * 4);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("fanout-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn fan-out worker")
+            })
+            .collect();
+        FanoutPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Queues a job, blocking while the queue is full. Returns `false`
+    /// if the pool is already shut down.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Queues a job only if the queue has room right now. Returns
+    /// `false` when the queue is full or the pool is shut down — the
+    /// caller treats that shard as not responding rather than blocking
+    /// the client connection.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => match tx.try_send(Box::new(job)) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain what is queued and
+        // then exit; join so no job outlives the pool.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling worker panicked mid-recv
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // pool dropped, queue drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs_on_pool_threads() {
+        let pool = FanoutPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..20 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = FanoutPool::new(1);
+            for _ in 0..5 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins the worker after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn try_submit_rejects_when_saturated() {
+        let pool = FanoutPool::new(1);
+        let (hold_tx, hold_rx) = channel::<()>();
+        // Park the only worker so the queue (capacity 4) can fill.
+        pool.submit(move || {
+            let _ = hold_rx.recv_timeout(Duration::from_secs(5));
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let mut accepted = 0;
+        for _ in 0..20 {
+            if pool.try_submit(|| {}) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 4, "bounded queue accepted {accepted} jobs");
+        hold_tx.send(()).unwrap();
+    }
+}

@@ -1,0 +1,966 @@
+//! The scatter-gather router: the cluster's single HTTP front door.
+//!
+//! Clients talk to the router exactly as they would to a single-box
+//! daemon. Behind it, `/v1/ingest` is routed to the shard that owns the
+//! cascade's seed site (rendezvous hashing, walking the deterministic
+//! failover order when the owner is down), `/v1/hazard` is forwarded to
+//! any healthy shard (every shard holds the full embeddings), and
+//! `/v1/predict` + `/v1/influencers` scatter to all healthy shards on a
+//! bounded fan-out pool with a per-shard deadline, then merge the
+//! shard-local rankings with the streaming top-k merge.
+//!
+//! The router degrades instead of failing: a shard that misses its
+//! deadline or refuses the connection is marked unhealthy on the spot
+//! (the background prober re-admits it), and the gathered response is
+//! served with `"partial": true` plus `shards_responding` /
+//! `shards_total` — a cluster with every shard down still answers
+//! HTTP 200 with an empty, clearly-partial ranking, never a 5xx.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use viralcast_obs::{self as obs, JsonValue};
+use viralcast_serve::client::{self, RetryPolicy};
+use viralcast_serve::http::{self, HttpError, HttpLimits, Request, Response};
+use viralcast_serve::json;
+use viralcast_serve::router::endpoint_label;
+use viralcast_serve::trace;
+
+use crate::fanout::FanoutPool;
+use crate::hashing;
+use crate::health::{HealthBoard, Prober};
+use crate::manifest::ClusterManifest;
+use crate::merge::{merge_topk, Ranked};
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads terminating client connections (≥ 1).
+    pub workers: usize,
+    /// Threads in the scatter fan-out pool (≥ 1).
+    pub fanout_workers: usize,
+    /// Cadence of the background `/healthz` probe of every shard.
+    pub probe_interval: Duration,
+    /// Per-shard deadline on the scatter path; a shard that has not
+    /// answered by then is counted as not responding.
+    pub shard_timeout: Duration,
+    /// Retry pacing for the single-shard forwarding paths (ingest,
+    /// hazard) — the same policy the serve-crate client uses.
+    pub retry: RetryPolicy,
+    /// HTTP parsing limits for client connections.
+    pub limits: HttpLimits,
+    /// Per-connection read timeout (client side).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (client side).
+    pub write_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:8090".into(),
+            workers: 4,
+            fanout_workers: 8,
+            probe_interval: Duration::from_millis(500),
+            shard_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything a router worker touches.
+struct RouterState {
+    manifest: ClusterManifest,
+    board: Arc<HealthBoard>,
+    pool: FanoutPool,
+    shard_timeout: Duration,
+    retry: RetryPolicy,
+    started: Instant,
+    /// Round-robin cursor for the forward-to-any paths.
+    cursor: AtomicU64,
+}
+
+/// A running router. Call [`RouterHandle::shutdown`] to stop it;
+/// dropping the handle does not.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    prober: Option<Prober>,
+}
+
+impl RouterHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks every thread to wind down (returns immediately).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for all threads to exit. Call after `request_shutdown`.
+    pub fn join(mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.prober.take(); // stops and joins the probe loop
+    }
+
+    /// Graceful stop: request shutdown, then join.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Binds the listener and spawns acceptor, workers, fan-out pool, and
+/// the health prober.
+pub fn start_router(manifest: ClusterManifest, config: RouterConfig) -> io::Result<RouterHandle> {
+    let shard_count = manifest.shard_count();
+    let board = HealthBoard::new(shard_count);
+    let prober = Prober::start(
+        Arc::clone(&board),
+        (0..shard_count).map(|s| manifest.addr_of(s)).collect(),
+        config.probe_interval,
+        config.shard_timeout,
+    );
+
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let state = Arc::new(RouterState {
+        manifest,
+        board,
+        pool: FanoutPool::new(config.fanout_workers.max(1)),
+        shard_timeout: config.shard_timeout,
+        retry: config.retry,
+        started: Instant::now(),
+        cursor: AtomicU64::new(0),
+    });
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = config.workers.max(1);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 4);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let limits = config.limits;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("router-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &state, &limits))?,
+        );
+    }
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        threads.push(
+            std::thread::Builder::new()
+                .name("router-acceptor".into())
+                .spawn(move || {
+                    accept_loop(&listener, &tx, &shutdown, read_timeout, write_timeout);
+                    // `tx` drops here; workers unblock from `recv` and exit.
+                })?,
+        );
+    }
+
+    obs::info(
+        "router",
+        &format!("listening on {addr} fronting {shard_count} shard(s) with {workers} workers"),
+        &[],
+    );
+    Ok(RouterHandle {
+        addr,
+        shutdown,
+        threads,
+        prober: Some(prober),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &mpsc::SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(e) => {
+                obs::warn("router", &format!("accept failed: {e}"), &[]);
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        if stream.set_nonblocking(false).is_err()
+            || stream.set_read_timeout(Some(read_timeout)).is_err()
+            || stream.set_write_timeout(Some(write_timeout)).is_err()
+        {
+            continue;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                obs::metrics().counter("router.http.overload").incr(1);
+                let _ = Response::error(503, "router overloaded; retry later")
+                    .with_header("X-Request-Id", trace::generate_trace_id())
+                    .write_to(&mut stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &RouterState, limits: &HttpLimits) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match next {
+            Ok(mut stream) => handle_connection(&mut stream, state, limits),
+            Err(_) => break, // acceptor gone: shutdown
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, state: &RouterState, limits: &HttpLimits) {
+    let started = Instant::now();
+    obs::metrics().counter("router.http.requests").incr(1);
+    let (response, trace_id) = match http::read_request(stream, limits) {
+        Ok(req) => {
+            let trace_id = trace::trace_id_for(&req);
+            let response = route(&req, state, &trace_id);
+            obs::metrics()
+                .histogram_exponential(
+                    &format!("router.http.latency_ms.{}", endpoint_label(&req.path)),
+                    0.25,
+                    2.0,
+                    12,
+                )
+                .record(started.elapsed().as_secs_f64() * 1e3);
+            (response, trace_id)
+        }
+        Err(e) => {
+            let response = match e {
+                HttpError::BadRequest(m) => Response::error(400, m),
+                HttpError::HeadTooLarge(limit) => {
+                    Response::error(431, format!("request head exceeds {limit} bytes"))
+                }
+                HttpError::BodyTooLarge(limit) => {
+                    Response::error(413, format!("request body exceeds {limit} bytes"))
+                }
+                HttpError::Io(_) | HttpError::ConnectionClosed => return,
+            };
+            (response, trace::generate_trace_id())
+        }
+    };
+    if response.status >= 400 {
+        obs::metrics().counter("router.http.errors").incr(1);
+    }
+    let _ = response
+        .with_header("X-Request-Id", trace_id)
+        .write_to(stream);
+}
+
+/// Dispatches one client request.
+fn route(req: &Request, state: &RouterState, trace_id: &str) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(),
+        ("POST", "/v1/ingest") => ingest(req, state, trace_id),
+        ("POST", "/v1/hazard") => forward_any(req, state, trace_id),
+        ("POST", "/v1/predict") => predict(req, state, trace_id),
+        ("GET", "/v1/influencers") => influencers(req, state, trace_id),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/hazard" | "/v1/predict" | "/v1/influencers"
+            | "/v1/ingest",
+        ) => Response::error(405, format!("method {} not allowed", req.method)),
+        _ => Response::error(404, format!("no such endpoint {}", req.path)),
+    }
+}
+
+/// Cluster health: always 200; `status` is `ok` only with every shard
+/// reachable. `nodes` reports the node universe (the max any shard
+/// reported) so single-box health probes keep working against a router.
+fn healthz(state: &RouterState) -> Response {
+    let board = &state.board;
+    let total = state.manifest.shard_count();
+    let healthy = board.healthy_count();
+    let shards: Vec<JsonValue> = state
+        .manifest
+        .shards
+        .iter()
+        .map(|s| {
+            JsonValue::obj(vec![
+                ("id", JsonValue::from(s.id)),
+                ("addr", JsonValue::from(s.addr.to_string())),
+                ("healthy", JsonValue::Bool(board.is_healthy(s.id))),
+                ("nodes", JsonValue::from(board.nodes(s.id))),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &JsonValue::obj(vec![
+            (
+                "status",
+                JsonValue::from(if healthy == total { "ok" } else { "degraded" }),
+            ),
+            ("role", JsonValue::from("router")),
+            ("shards_total", JsonValue::from(total)),
+            ("shards_healthy", JsonValue::from(healthy)),
+            ("nodes", JsonValue::from(board.max_nodes())),
+            ("snapshot_version", JsonValue::from(board.max_version())),
+            (
+                "uptime_seconds",
+                JsonValue::from(state.started.elapsed().as_secs_f64()),
+            ),
+            ("shards", JsonValue::Arr(shards)),
+        ]),
+    )
+}
+
+fn metrics() -> Response {
+    let mut text = String::from("# TYPE viralcast_router_info gauge\nviralcast_router_info 1\n");
+    text.push_str(&obs::metrics().snapshot().render_prometheus());
+    Response::text(200, text)
+}
+
+/// The seed site of an ingest body: the node of the earliest infection
+/// in the first cascade. `None` when the body has no usable cascade —
+/// the shard the request is forwarded to will produce the proper error.
+fn seed_site(body: &JsonValue) -> Option<u64> {
+    let first = json::as_arr(json::get(body, "cascades")?)?.first()?;
+    json::as_arr(first)?
+        .iter()
+        .filter_map(|event| {
+            let node = json::as_u64(json::get(event, "node")?)?;
+            let time = json::as_f64(json::get(event, "time")?)?;
+            Some((node, time))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(node, _)| node)
+}
+
+/// Routes an ingest to the shard owning its seed site, walking the
+/// rendezvous failover order (healthy shards first) when the owner is
+/// unreachable.
+fn ingest(req: &Request, state: &RouterState, trace_id: &str) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let body = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, format!("malformed JSON body: {e}")),
+    };
+    let key = seed_site(&body).unwrap_or_else(|| state.cursor.fetch_add(1, Ordering::Relaxed));
+    let order = hashing::rendezvous_order(key, state.manifest.shard_count());
+    // Two passes over the failover order: believed-healthy shards first,
+    // then the rest (the belief may be stale in either direction).
+    let attempts = order
+        .iter()
+        .filter(|&&s| state.board.is_healthy(s))
+        .chain(order.iter().filter(|&&s| !state.board.is_healthy(s)));
+    for &shard in attempts {
+        match try_forward(state, shard, "POST", "/v1/ingest", Some(text), trace_id) {
+            Some(response) => {
+                obs::metrics().counter("router.ingest.routed").incr(1);
+                return response;
+            }
+            None => continue,
+        }
+    }
+    Response::error(503, "no shard reachable for ingest")
+}
+
+/// Forwards a request to any healthy shard (round-robin), falling back
+/// to the full shard list — used for `/v1/hazard`, which any shard can
+/// answer from its full copy of the embeddings.
+fn forward_any(req: &Request, state: &RouterState, trace_id: &str) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let total = state.manifest.shard_count();
+    let start = state.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+    let order: Vec<usize> = (0..total).map(|i| (start + i) % total).collect();
+    let attempts = order
+        .iter()
+        .filter(|&&s| state.board.is_healthy(s))
+        .chain(order.iter().filter(|&&s| !state.board.is_healthy(s)));
+    let body = if text.is_empty() { None } else { Some(text) };
+    for &shard in attempts {
+        if let Some(response) = try_forward(state, shard, &req.method, &req.path, body, trace_id) {
+            return response;
+        }
+    }
+    Response::error(503, "no shard reachable")
+}
+
+/// One forwarding attempt with retry; `None` means the shard could not
+/// be reached at all (and has been marked unhealthy).
+fn try_forward(
+    state: &RouterState,
+    shard: usize,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    trace_id: &str,
+) -> Option<Response> {
+    let addr = state.manifest.addr_of(shard);
+    let headers = [("X-Request-Id", trace_id)];
+    match client::request_with_retry(&addr, method, target, body, &headers, &state.retry) {
+        Ok(out) => {
+            state.board.mark_up(shard);
+            Some(forward(&out.response))
+        }
+        Err(_) => {
+            state.board.mark_down(shard);
+            obs::metrics()
+                .counter(&format!("router.shard.errors.{shard}"))
+                .incr(1);
+            None
+        }
+    }
+}
+
+/// Re-frames a shard's response for the client. Shard bodies are the
+/// compact output of the same JSON writer, so parse-and-re-render is
+/// byte-preserving; a body that does not parse is passed through as
+/// text.
+fn forward(response: &client::ClientResponse) -> Response {
+    match json::parse(&response.body) {
+        Ok(v) => Response::json(response.status, &v),
+        Err(_) => Response::text(response.status, response.body.clone()),
+    }
+}
+
+/// Scatters one request to every believed-healthy shard on the fan-out
+/// pool and gathers the responses that arrive within the per-shard
+/// deadline. Shards that error or miss the deadline are marked down.
+fn scatter(
+    state: &RouterState,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    trace_id: &str,
+) -> Vec<(usize, client::ClientResponse)> {
+    let (tx, rx) = mpsc::channel();
+    let mut dispatched = 0usize;
+    for shard in state.board.healthy_shards() {
+        let addr = state.manifest.addr_of(shard);
+        let tx = tx.clone();
+        let method = method.to_string();
+        let target = target.to_string();
+        let body = body.map(str::to_string);
+        let trace_id = trace_id.to_string();
+        let timeout = state.shard_timeout;
+        let accepted = state.pool.try_submit(move || {
+            let started = Instant::now();
+            let result = client::request_with_options(
+                &addr,
+                &method,
+                &target,
+                body.as_deref(),
+                &[("X-Request-Id", &trace_id)],
+                timeout,
+            );
+            let _ = tx.send((shard, started.elapsed(), result));
+        });
+        if accepted {
+            dispatched += 1;
+        } else {
+            // Pool saturated: the shard is simply not responding to
+            // this request; the response will say so via `partial`.
+            obs::metrics().counter("router.fanout.rejected").incr(1);
+        }
+    }
+    drop(tx);
+
+    let deadline = Instant::now() + state.shard_timeout + Duration::from_millis(250);
+    let mut replies = Vec::with_capacity(dispatched);
+    for _ in 0..dispatched {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok((shard, elapsed, Ok(response))) => {
+                state.board.mark_up(shard);
+                obs::metrics()
+                    .histogram_exponential(
+                        &format!("router.shard.latency_ms.{shard}"),
+                        0.25,
+                        2.0,
+                        12,
+                    )
+                    .record(elapsed.as_secs_f64() * 1e3);
+                replies.push((shard, response));
+            }
+            Ok((shard, _, Err(_))) => {
+                state.board.mark_down(shard);
+                obs::metrics()
+                    .counter(&format!("router.shard.errors.{shard}"))
+                    .incr(1);
+            }
+            Err(_) => break, // gather deadline: stragglers count as down
+        }
+    }
+    replies
+}
+
+/// Extracts a ranking array (`candidates` / `influencers`) from one
+/// shard's response body, keeping each entry's original JSON.
+fn ranked_list(body: &JsonValue, key: &str, score_field: &str) -> Vec<Ranked> {
+    json::get(body, key)
+        .and_then(json::as_arr)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|entry| {
+                    Some(Ranked {
+                        node: json::as_u64(json::get(entry, "node")?)?,
+                        score: json::as_f64(json::get(entry, score_field)?)?,
+                        body: entry.clone(),
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The gathered scatter responses, split for merging: parsed 200-bodies
+/// plus the first client-error response, if any shard sent one.
+struct Gathered {
+    bodies: Vec<JsonValue>,
+    client_error: Option<Response>,
+}
+
+fn gather(replies: Vec<(usize, client::ClientResponse)>) -> Gathered {
+    let mut bodies = Vec::with_capacity(replies.len());
+    let mut client_error = None;
+    for (_, response) in replies {
+        if response.status == 200 {
+            if let Ok(v) = json::parse(&response.body) {
+                bodies.push(v);
+            }
+        } else if (400..500).contains(&response.status) && client_error.is_none() {
+            // Every shard validates against the same full universe, so
+            // one shard's 4xx is the whole cluster's verdict.
+            client_error = Some(forward(&response));
+        }
+    }
+    Gathered {
+        bodies,
+        client_error,
+    }
+}
+
+/// Merges `key` rankings from the gathered bodies into one partial-aware
+/// envelope. Extra fields (e.g. `topic`) named in `carry` are copied
+/// from the first body that has them.
+fn merged_response(
+    state: &RouterState,
+    gathered: Gathered,
+    key: &'static str,
+    score_field: &str,
+    k: usize,
+    carry: &[&'static str],
+) -> Response {
+    if let Some(error) = gathered.client_error {
+        return error;
+    }
+    let total = state.manifest.shard_count();
+    let responding = gathered.bodies.len();
+    let version = gathered
+        .bodies
+        .iter()
+        .filter_map(|b| json::get(b, "snapshot_version").and_then(json::as_u64))
+        .max()
+        .unwrap_or(0);
+    let lists: Vec<Vec<Ranked>> = gathered
+        .bodies
+        .iter()
+        .map(|b| ranked_list(b, key, score_field))
+        .collect();
+    let merged = merge_topk(&lists, k);
+    let partial = responding < total;
+    if partial {
+        obs::metrics().counter("router.partial_responses").incr(1);
+    }
+    let mut fields = vec![("snapshot_version", JsonValue::from(version))];
+    for &name in carry {
+        if let Some(value) = gathered.bodies.iter().find_map(|b| json::get(b, name)) {
+            fields.push((name, value.clone()));
+        }
+    }
+    fields.push((
+        key,
+        JsonValue::Arr(merged.into_iter().map(|r| r.body).collect()),
+    ));
+    fields.push(("partial", JsonValue::Bool(partial)));
+    fields.push(("shards_responding", JsonValue::from(responding)));
+    fields.push(("shards_total", JsonValue::from(total)));
+    Response::json(200, &JsonValue::obj(fields))
+}
+
+fn predict(req: &Request, state: &RouterState, trace_id: &str) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let body = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, format!("malformed JSON body: {e}")),
+    };
+    let k = json::get(&body, "top").and_then(json::as_u64).unwrap_or(10) as usize;
+    let replies = scatter(state, "POST", "/v1/predict", Some(text), trace_id);
+    merged_response(
+        state,
+        gather(replies),
+        "candidates",
+        "rate",
+        k,
+        &["observed"],
+    )
+}
+
+fn influencers(req: &Request, state: &RouterState, trace_id: &str) -> Response {
+    let k = match req.query_param("top") {
+        None => 10,
+        // Malformed values still scatter: the shards produce the 400.
+        Some(raw) => raw.parse::<usize>().unwrap_or(10),
+    };
+    let replies = scatter(state, "GET", &target_of(req), None, trace_id);
+    merged_response(
+        state,
+        gather(replies),
+        "influencers",
+        "score",
+        k,
+        &["topic"],
+    )
+}
+
+/// Rebuilds the request target (path + query string) for forwarding.
+fn target_of(req: &Request) -> String {
+    if req.query.is_empty() {
+        return req.path.clone();
+    }
+    let query: Vec<String> = req
+        .query
+        .iter()
+        .map(|(key, value)| {
+            if value.is_empty() {
+                key.clone()
+            } else {
+                format!("{key}={value}")
+            }
+        })
+        .collect();
+    format!("{}?{}", req.path, query.join("&"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    #[test]
+    fn target_rebuilds_the_query_string() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/influencers".into(),
+            query: vec![
+                ("top".into(), "3".into()),
+                ("topic".into(), "1".into()),
+                ("flag".into(), String::new()),
+            ],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(target_of(&req), "/v1/influencers?top=3&topic=1&flag");
+        let bare = Request {
+            query: Vec::new(),
+            ..req
+        };
+        assert_eq!(target_of(&bare), "/v1/influencers");
+    }
+
+    #[test]
+    fn ranked_lists_parse_and_skip_malformed_entries() {
+        let body = json::parse(
+            r#"{"candidates":[{"node":3,"rate":2.5},{"rate":1.0},{"node":1,"rate":0.5}]}"#,
+        )
+        .unwrap();
+        let list = ranked_list(&body, "candidates", "rate");
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].node, 3);
+        assert_eq!(list[0].score, 2.5);
+        assert_eq!(list[0].body.render(), r#"{"node":3,"rate":2.5}"#);
+        assert!(ranked_list(&body, "influencers", "score").is_empty());
+    }
+
+    #[test]
+    fn seed_site_is_the_earliest_infection_of_the_first_cascade() {
+        let body = json::parse(
+            r#"{"cascades":[[{"node":5,"time":1.0},{"node":9,"time":0.25}],[{"node":1,"time":0.0}]]}"#,
+        )
+        .unwrap();
+        assert_eq!(seed_site(&body), Some(9));
+        assert_eq!(seed_site(&json::parse(r#"{"cascades":[]}"#).unwrap()), None);
+        assert_eq!(seed_site(&json::parse("{}").unwrap()), None);
+    }
+
+    /// A canned shard: answers every request on its listener with the
+    /// same 200 body. Runs until the test process exits.
+    fn fake_shard(body: &'static str) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let mut stream = stream;
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                // Drain the whole request (head plus Content-Length
+                // body) before answering: replying with unread bytes
+                // still pending would RST the connection and destroy
+                // the response mid-flight.
+                let mut request = Vec::new();
+                let mut buf = [0u8; 4096];
+                while let Ok(n) = stream.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    request.extend_from_slice(&buf[..n]);
+                    if let Some(head_end) = request
+                        .windows(4)
+                        .position(|w| w == b"\r\n\r\n")
+                        .map(|p| p + 4)
+                    {
+                        let head = String::from_utf8_lossy(&request[..head_end]).to_lowercase();
+                        let length = head
+                            .lines()
+                            .find_map(|l| l.strip_prefix("content-length:"))
+                            .and_then(|v| v.trim().parse::<usize>().ok())
+                            .unwrap_or(0);
+                        if request.len() >= head_end + length {
+                            break;
+                        }
+                    }
+                }
+                let reply = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(reply.as_bytes());
+            }
+        });
+        addr
+    }
+
+    /// A dead address: a distinct port in the reserved low range, where
+    /// nothing listens, so connections are refused instantly. Low ports
+    /// can never collide with another test's `127.0.0.1:0` ephemeral
+    /// bind, unlike a bind-then-release reservation.
+    fn dead_addr() -> SocketAddr {
+        use std::sync::atomic::{AtomicU16, Ordering};
+        static NEXT: AtomicU16 = AtomicU16::new(9);
+        let port = NEXT.fetch_add(1, Ordering::Relaxed);
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    #[test]
+    fn scatter_merges_live_shards_and_reports_the_dead_one() {
+        let a = fake_shard(
+            r#"{"snapshot_version":4,"observed":1,"candidates":[{"node":0,"rate":3},{"node":2,"rate":1}]}"#,
+        );
+        let b =
+            fake_shard(r#"{"snapshot_version":5,"observed":1,"candidates":[{"node":1,"rate":2}]}"#);
+        let dead = dead_addr();
+        let manifest = ClusterManifest::round_robin(&[a, b, dead]).unwrap();
+        let config = RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            fanout_workers: 4,
+            probe_interval: Duration::from_millis(100),
+            shard_timeout: Duration::from_secs(2),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..RouterConfig::default()
+        };
+        let handle = start_router(manifest, config).unwrap();
+        let addr = handle.local_addr();
+
+        let response = client::request(
+            &addr,
+            "POST",
+            "/v1/predict",
+            Some(r#"{"cascade":[{"node":7,"time":0.0}],"top":2}"#),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        // Top-2 across shards, highest rate first; the dead shard makes
+        // the response partial but never an error.
+        assert!(
+            response
+                .body
+                .contains(r#""candidates":[{"node":0,"rate":3},{"node":1,"rate":2}]"#),
+            "{}",
+            response.body
+        );
+        assert!(
+            response.body.contains(r#""snapshot_version":5"#),
+            "{}",
+            response.body
+        );
+        assert!(
+            response.body.contains(r#""partial":true"#),
+            "{}",
+            response.body
+        );
+        assert!(
+            response
+                .body
+                .contains(r#""shards_responding":2,"shards_total":3"#),
+            "{}",
+            response.body
+        );
+
+        // Health reflects the dead shard once a probe cycle has run.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+            assert_eq!(health.status, 200);
+            if health.body.contains(r#""shards_healthy":2"#) {
+                assert!(
+                    health.body.contains(r#""status":"degraded""#),
+                    "{}",
+                    health.body
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "prober never saw the dead shard");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // Unknown paths and methods behave like the single-box daemon.
+        assert_eq!(
+            client::request(&addr, "GET", "/nope", None).unwrap().status,
+            404
+        );
+        assert_eq!(
+            client::request(&addr, "DELETE", "/healthz", None)
+                .unwrap()
+                .status,
+            405
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn full_outage_stays_http_200_and_clearly_partial() {
+        let manifest = ClusterManifest::round_robin(&[dead_addr(), dead_addr()]).unwrap();
+        let config = RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            fanout_workers: 2,
+            shard_timeout: Duration::from_millis(500),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..RouterConfig::default()
+        };
+        let handle = start_router(manifest, config).unwrap();
+        let addr = handle.local_addr();
+        let response = client::request(
+            &addr,
+            "POST",
+            "/v1/predict",
+            Some(r#"{"cascade":[{"node":0,"time":0.0}]}"#),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(
+            response.body.contains(r#""candidates":[]"#),
+            "{}",
+            response.body
+        );
+        assert!(
+            response.body.contains(r#""partial":true"#),
+            "{}",
+            response.body
+        );
+        assert!(
+            response.body.contains(r#""shards_responding":0"#),
+            "{}",
+            response.body
+        );
+        // Ingest has nowhere to go: 503 is the honest answer for a
+        // write (the client retries), but reads above never 5xx.
+        let ingest = client::request(
+            &addr,
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":0,"time":0.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(ingest.status, 503);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn ingest_routes_to_a_live_shard_and_forwards_its_receipt() {
+        let body = r#"{"snapshot_version":2,"accepted":1,"rejected":0,"dropped":0,"buffered":1,"errors":[]}"#;
+        let a = fake_shard(body);
+        let b = fake_shard(body);
+        let manifest = ClusterManifest::round_robin(&[a, b]).unwrap();
+        let handle = start_router(
+            manifest,
+            RouterConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let response = client::request(
+            &handle.local_addr(),
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":3,"time":0.0},{"node":4,"time":1.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(
+            response.body.contains(r#""accepted":1"#),
+            "{}",
+            response.body
+        );
+        handle.shutdown();
+    }
+}

@@ -108,6 +108,8 @@ fn run() -> Result<(), CliError> {
             "predict" => predict_cmd(&flags)?,
             "influencers" => influencers_cmd(&flags)?,
             "serve" => serve_cmd(&flags)?,
+            "cluster-plan" => cluster_plan_cmd(&flags)?,
+            "router" => router_cmd(&flags)?,
             "loadgen" => loadgen_cmd(&flags)?,
             "bench-hotpath" => bench_hotpath_cmd(&flags)?,
             "chaos" => chaos_cmd(&flags)?,
@@ -143,12 +145,19 @@ USAGE:
                            [--ingest-capacity N] [--data-dir DIR]
                            [--fsync always|interval[:MS]|rotate]
                            [--segment-bytes N] [--access-log FILE]
-  viralcast loadgen        --addr HOST:PORT [--workers N] [--duration SECS]
-                           [--warmup SECS] [--mix SPEC] [--seed S] [--out FILE]
+                           [--shard I/N --cluster-manifest FILE]
+  viralcast cluster-plan   --out FILE --shards HOST:PORT,HOST:PORT,…
+                           [--corpus FILE] [--topics K]
+  viralcast router         --cluster-manifest FILE [--addr HOST:PORT]
+                           [--workers N] [--fanout-workers N]
+                           [--probe-interval SECS] [--shard-timeout SECS]
+  viralcast loadgen        --addr HOST:PORT[,HOST:PORT…] [--workers N]
+                           [--duration SECS] [--warmup SECS] [--mix SPEC]
+                           [--scenario flash-crowd] [--seed S] [--out FILE]
   viralcast bench-hotpath  [--nodes N] [--topics K] [--iterations I]
                            [--seed S] [--out FILE]
   viralcast chaos          --embeddings FILE --data-dir DIR [--workers N]
-                           [--cycles C] [--steady SECS]
+                           [--cycles C] [--steady SECS] [--cluster N]
                            [--recovery-timeout SECS] [--seed S] [--out FILE]
 
 SERVE:
@@ -171,6 +180,25 @@ SERVE:
   request (schema viralcast-access-log/v1): method, path, status,
   snapshot_version, latency_us and trace_id.
 
+CLUSTER:
+  cluster-plan writes a shard manifest (schema
+  viralcast-cluster-manifest/v1) assigning every embedding row to one of
+  the --shards addresses: round-robin by default, community-aligned when
+  --corpus is given (each shard then owns whole SLPA communities, so
+  scatter answers cluster by community). Each shard is an ordinary serve
+  daemon started with --shard I/N --cluster-manifest FILE: it loads the
+  full model but scans only its own candidate rows.
+
+  router terminates client HTTP in front of the shards named by the
+  manifest: POST /v1/ingest forwards to the shard owning the cascade's
+  seed node (rendezvous hashing, with failover to the survivors),
+  POST /v1/predict and GET /v1/influencers scatter to every shard under
+  a per-shard deadline (--shard-timeout, default 2) and merge the top-k
+  answers. A background probe every --probe-interval seconds (default
+  0.5) tracks shard health; when a shard is down the router degrades
+  instead of failing — answers carry \"partial\": true plus
+  shards_responding, never a 5xx.
+
 LOADGEN:
   Drives a running daemon with a closed-loop weighted traffic mix
   (--mix, default predict=4,hazard=2,influencers=1,ingest=1) from
@@ -179,7 +207,17 @@ LOADGEN:
   and prints per-endpoint p50/p99 latency, throughput and the shed rate;
   --out FILE (default BENCH_http.json) gets the machine-readable report.
   Requests carry deterministic lg-<worker>-<seq> trace IDs, joinable
-  against the daemon's access log.
+  against the daemon's access log. --addr accepts a comma-separated
+  endpoint list (e.g. a router plus its shards); each request retries
+  across the list.
+
+  --scenario flash-crowd replaces the closed loop with an open-loop
+  replay of a synthetic GDELT flash-crowd timeline: 24 simulated hours
+  of cascade arrivals, bursting an order of magnitude over baseline
+  mid-window, are compressed into --duration seconds and POSTed to
+  /v1/ingest at their scheduled instants (fc-<worker>-<seq> trace IDs).
+  The report gains a scenario block with baseline vs burst arrival
+  rates.
 
 BENCH-HOTPATH:
   Times the hazard candidate scan (the serving hot path) against a
@@ -198,6 +236,14 @@ CHAOS:
   (default 30). --out FILE (default BENCH_chaos.json) gets kill cycles,
   recovery p50/p99, acked-vs-recovered counts, shed rate, and the
   steady-vs-disrupted p99 degradation ratio.
+
+  --cluster N (N ≥ 2) aims the kill loop at a sharded cluster instead:
+  N shard daemons under a round-robin manifest behind a router child,
+  load driven through the router, one seeded-random shard SIGKILLed per
+  cycle. While the shard is down the router must answer /v1/predict
+  with HTTP 200 and \"partial\": true — any 5xx fails the run — and the
+  final durability replay unions every shard's data dir. The report
+  gains partial_responses and non_partial_5xx.
 
 OBSERVABILITY (all commands):
   --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
@@ -257,6 +303,22 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("fsync", true),
             ("segment-bytes", true),
             ("access-log", true),
+            ("shard", true),
+            ("cluster-manifest", true),
+        ],
+        "cluster-plan" => &[
+            ("out", true),
+            ("shards", true),
+            ("corpus", true),
+            ("topics", true),
+        ],
+        "router" => &[
+            ("cluster-manifest", true),
+            ("addr", true),
+            ("workers", true),
+            ("fanout-workers", true),
+            ("probe-interval", true),
+            ("shard-timeout", true),
         ],
         "loadgen" => &[
             ("addr", true),
@@ -264,6 +326,7 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("duration", true),
             ("warmup", true),
             ("mix", true),
+            ("scenario", true),
             ("seed", true),
             ("out", true),
         ],
@@ -278,6 +341,7 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("embeddings", true),
             ("data-dir", true),
             ("workers", true),
+            ("cluster", true),
             ("cycles", true),
             ("steady", true),
             ("recovery-timeout", true),
@@ -524,7 +588,46 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     use viralcast::serve;
 
     let emb_path = flags.require_path("embeddings")?;
-    let addr = flags.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let shard_index = match flags.get("shard") {
+        None => None,
+        Some(raw) => {
+            let parsed = raw
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+            match parsed {
+                Some((i, n)) if n >= 1 && i < n => Some((i, n)),
+                _ => {
+                    return Err(usage_err(format!(
+                        "malformed --shard {raw:?} (expected I/N with I < N)"
+                    )))
+                }
+            }
+        }
+    };
+    let manifest_path = flags.opt_path("cluster-manifest");
+    if shard_index.is_some() != manifest_path.is_some() {
+        return Err(usage_err(
+            "--shard and --cluster-manifest must be given together",
+        ));
+    }
+    let cluster = match (manifest_path, shard_index) {
+        (Some(path), Some((i, n))) => {
+            let manifest = viralcast::cluster::ClusterManifest::load(&path).map_err(runtime_err)?;
+            if manifest.shard_count() != n {
+                return Err(runtime_err(format!(
+                    "--shard {i}/{n} disagrees with the manifest's {} shard(s)",
+                    manifest.shard_count()
+                )));
+            }
+            Some((manifest, i, n))
+        }
+        _ => None,
+    };
+    let addr = match (flags.get("addr"), &cluster) {
+        (Some(a), _) => a.to_string(),
+        (None, Some((manifest, i, _))) => manifest.addr_of(*i).to_string(),
+        (None, None) => "127.0.0.1:8080".to_string(),
+    };
     let workers = flags.usize("workers", 4)?;
     let retrain_interval = flags.f64("retrain-interval", 5.0)?;
     let min_batch = flags.usize("min-retrain-batch", 1)?;
@@ -555,6 +658,10 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
 
     let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
     let (nodes, topics) = (embeddings.node_count(), embeddings.topic_count());
+    let shard_block = match &cluster {
+        Some((manifest, i, _)) => Some(manifest.row_block(*i, nodes).map_err(runtime_err)?),
+        None => None,
+    };
 
     // The daemon's trainer calls back into the pipeline's incremental
     // update; the topic count is pinned to the loaded model's.
@@ -582,11 +689,18 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
             fsync,
         },
         access_log: access_log.clone(),
+        shard: shard_block.clone(),
         ..serve::ServeConfig::default()
     };
     let handle = serve::start(embeddings, retrain, config).map_err(runtime_err)?;
     let bound = handle.local_addr();
     println!("viralcast-serve listening on http://{bound} ({nodes} nodes × {topics} topics)");
+    if let (Some((_, i, n)), Some(block)) = (&cluster, &shard_block) {
+        println!(
+            "cluster shard {i}/{n}: scanning {} of {nodes} candidate rows",
+            block.owned_count()
+        );
+    }
     if let Some(path) = &access_log {
         println!(
             "access log (one JSON line per request) at {}",
@@ -625,11 +739,125 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         ("topics".into(), topics.into()),
         ("final_snapshot_version".into(), final_version.into()),
     ];
+    if let (Some((_, i, n)), Some(block)) = (&cluster, &shard_block) {
+        attrs.push(("shard".into(), format!("{i}/{n}").into()));
+        attrs.push(("shard_rows".into(), block.owned_count().into()));
+    }
     if let Some(r) = recovery {
         attrs.push(("replayed_records".into(), r.replayed.into()));
         attrs.push(("recovered_pending".into(), r.pending.into()));
     }
     Ok(attrs)
+}
+
+fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::cluster;
+
+    let out = flags.require_path("out")?;
+    let shards_raw = flags
+        .get("shards")
+        .ok_or_else(|| usage_err("missing required flag --shards"))?;
+    let addrs = shards_raw
+        .split(',')
+        .map(|part| {
+            part.trim().parse::<std::net::SocketAddr>().map_err(|_| {
+                usage_err(format!(
+                    "malformed shard address {part:?} in --shards (expected HOST:PORT)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let manifest = match flags.opt_path("corpus") {
+        Some(corpus_path) => {
+            let topics = flags.usize("topics", 8)?;
+            let corpus = load_corpus(&corpus_path)?;
+            let options = InferOptions {
+                topics,
+                ..InferOptions::default()
+            };
+            let partition = {
+                let _span = Span::enter("detect_communities");
+                viralcast::pipeline::detect_communities(&corpus, &options)
+            };
+            println!(
+                "aligning {} node(s) across {} communities onto {} shard(s)…",
+                corpus.node_count(),
+                partition.community_count(),
+                addrs.len()
+            );
+            let membership = cluster::placement::community_aligned(&partition, addrs.len());
+            cluster::ClusterManifest::with_membership(&addrs, membership).map_err(runtime_err)?
+        }
+        None => cluster::ClusterManifest::round_robin(&addrs).map_err(runtime_err)?,
+    };
+    manifest.save(&out).map_err(runtime_err)?;
+
+    let placement = match &manifest.placement {
+        cluster::Placement::RoundRobin => "round-robin",
+        cluster::Placement::Membership(_) => "community-aligned",
+    };
+    println!(
+        "wrote {placement} manifest for {} shard(s) to {}",
+        manifest.shard_count(),
+        out.display()
+    );
+    for i in 0..manifest.shard_count() {
+        println!("  shard {i}: {}", manifest.addr_of(i));
+    }
+    Ok(vec![
+        ("shards".into(), manifest.shard_count().into()),
+        ("placement".into(), placement.into()),
+    ])
+}
+
+fn router_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::cluster;
+
+    let manifest_path = flags.require_path("cluster-manifest")?;
+    let manifest = cluster::ClusterManifest::load(&manifest_path).map_err(runtime_err)?;
+    let defaults = cluster::RouterConfig::default();
+    let probe_interval = flags.f64("probe-interval", defaults.probe_interval.as_secs_f64())?;
+    let shard_timeout = flags.f64("shard-timeout", defaults.shard_timeout.as_secs_f64())?;
+    if !probe_interval.is_finite() || probe_interval <= 0.0 {
+        return Err(usage_err(
+            "--probe-interval must be a positive number of seconds",
+        ));
+    }
+    if !shard_timeout.is_finite() || shard_timeout <= 0.0 {
+        return Err(usage_err(
+            "--shard-timeout must be a positive number of seconds",
+        ));
+    }
+    let config = cluster::RouterConfig {
+        addr: flags.get("addr").unwrap_or(&defaults.addr).to_string(),
+        workers: flags.usize("workers", defaults.workers)?,
+        fanout_workers: flags.usize("fanout-workers", defaults.fanout_workers)?,
+        probe_interval: std::time::Duration::from_secs_f64(probe_interval),
+        shard_timeout: std::time::Duration::from_secs_f64(shard_timeout),
+        ..defaults
+    };
+    if config.workers == 0 || config.fanout_workers == 0 {
+        return Err(usage_err("--workers and --fanout-workers must be positive"));
+    }
+
+    let shards = manifest.shard_count();
+    let handle = cluster::start_router(manifest, config).map_err(runtime_err)?;
+    let bound = handle.local_addr();
+    println!("viralcast-router listening on http://{bound} fronting {shards} shard(s)");
+    println!("press ctrl-c to stop");
+
+    let shutdown = viralcast::serve::install_ctrlc();
+    while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutting down…");
+    handle.shutdown();
+    println!("stopped");
+    Ok(vec![
+        ("addr".into(), bound.to_string().into()),
+        ("shards".into(), shards.into()),
+    ])
 }
 
 fn loadgen_cmd(flags: &Flags) -> Result<Attrs, CliError> {
@@ -638,11 +866,14 @@ fn loadgen_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let addr_raw = flags
         .get("addr")
         .ok_or_else(|| usage_err("missing required flag --addr"))?;
-    let addr: std::net::SocketAddr = addr_raw.parse().map_err(|_| {
-        usage_err(format!(
-            "malformed --addr {addr_raw:?} (expected HOST:PORT)"
-        ))
-    })?;
+    let endpoints = viralcast::serve::client::Endpoints::parse(addr_raw)
+        .map_err(|e| usage_err(format!("--addr: {e}")))?;
+    let scenario = match flags.get("scenario") {
+        Some(raw) => Some(
+            loadgen::LoadScenario::parse(raw).map_err(|e| usage_err(format!("--scenario: {e}")))?,
+        ),
+        None => None,
+    };
     let workers = flags.usize("workers", 4)?;
     let duration = flags.f64("duration", 10.0)?;
     let warmup = flags.f64("warmup", 2.0)?;
@@ -664,17 +895,25 @@ fn loadgen_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         .unwrap_or_else(|| PathBuf::from("BENCH_http.json"));
 
     let config = loadgen::LoadgenConfig {
-        addr,
+        endpoints,
         workers,
         duration: std::time::Duration::from_secs_f64(duration),
         warmup: std::time::Duration::from_secs_f64(warmup),
         mix,
         seed,
+        scenario,
     };
-    println!(
-        "driving http://{addr} with {workers} worker(s), mix {mix_raw}: \
-         {warmup:.1}s warmup then {duration:.1}s measured…"
-    );
+    match scenario {
+        Some(s) => println!(
+            "replaying the {} scenario against http://{addr_raw} with \
+             {workers} worker(s) over {duration:.1}s…",
+            s.label()
+        ),
+        None => println!(
+            "driving http://{addr_raw} with {workers} worker(s), mix {mix_raw}: \
+             {warmup:.1}s warmup then {duration:.1}s measured…"
+        ),
+    }
     let summary = {
         let _span = Span::enter("loadgen");
         loadgen::run(&config).map_err(runtime_err)?
@@ -707,9 +946,16 @@ fn loadgen_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         summary.http_5xx,
         summary.io_errors
     );
+    if let Some(s) = &summary.scenario {
+        println!(
+            "scenario {}: {} scheduled arrival(s), baseline {:.1}/s vs \
+             burst {:.1}/s (burst {:.1}s–{:.1}s)",
+            s.name, s.arrivals, s.baseline_rps, s.burst_rps, s.burst_start_s, s.burst_end_s
+        );
+    }
 
     let mut attrs: Attrs = vec![
-        ("addr".into(), addr.to_string().into()),
+        ("addr".into(), addr_raw.into()),
         ("workers".into(), workers.into()),
         ("duration_s".into(), duration.into()),
         ("warmup_s".into(), warmup.into()),
@@ -772,6 +1018,15 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     if cycles == 0 {
         return Err(usage_err("--cycles must be positive"));
     }
+    let cluster_shards = flags.usize("cluster", defaults.cluster_shards)?;
+    if cluster_shards == 1 {
+        return Err(usage_err(
+            "--cluster needs at least 2 shards (omit it for single-box chaos)",
+        ));
+    }
+    if cluster_shards > 16 {
+        return Err(usage_err("--cluster supports at most 16 shards"));
+    }
     let config = chaos::ChaosConfig {
         embeddings: flags.require_path("embeddings")?,
         data_dir: flags.require_path("data-dir")?,
@@ -780,15 +1035,24 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         steady: std::time::Duration::from_secs_f64(steady),
         recovery_timeout: std::time::Duration::from_secs_f64(recovery_timeout),
         seed: flags.u64("seed", defaults.seed)?,
+        cluster_shards,
     };
     let out = flags
         .opt_path("out")
         .unwrap_or_else(|| PathBuf::from("BENCH_chaos.json"));
 
-    println!(
-        "chaos: {} worker(s), {} kill cycle(s), {steady:.1}s steady load each…",
-        config.workers, config.cycles
-    );
+    if config.cluster_shards >= 2 {
+        println!(
+            "chaos: {} worker(s) through a router over {} shard(s), \
+             {} kill cycle(s), {steady:.1}s steady load each…",
+            config.workers, config.cluster_shards, config.cycles
+        );
+    } else {
+        println!(
+            "chaos: {} worker(s), {} kill cycle(s), {steady:.1}s steady load each…",
+            config.workers, config.cycles
+        );
+    }
     let summary = {
         let _span = Span::enter("chaos");
         viralcast::chaos::run(&config).map_err(runtime_err)?
@@ -822,6 +1086,12 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
             .map_or("-".to_string(), |x| format!("{x:.1}×")),
         summary.post_recovery_5xx
     );
+    if config.cluster_shards >= 2 {
+        println!(
+            "router while a shard was down: {} partial response(s), {} non-partial 5xx",
+            summary.partial_responses, summary.non_partial_5xx
+        );
+    }
 
     let attrs: Attrs = summary.attrs();
     save_bench_report("chaos", &attrs, &out)?;
@@ -849,6 +1119,13 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         return Err(runtime_err(format!(
             "{} request(s) answered 5xx after the daemon reported healthy",
             summary.post_recovery_5xx
+        )));
+    }
+    if summary.non_partial_5xx > 0 {
+        return Err(runtime_err(format!(
+            "{} router response(s) were 5xx instead of a partial answer \
+             while a shard was down",
+            summary.non_partial_5xx
         )));
     }
     Ok(attrs)

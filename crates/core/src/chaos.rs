@@ -26,6 +26,17 @@
 //! of dying with the daemon; exhausted retry budgets are reported as
 //! `io_errors` but only acked-record loss and recovery timeouts fail
 //! the run.
+//!
+//! With `cluster_shards ≥ 2` the harness targets a different failure
+//! domain: it boots N `serve --shard i/N` children behind a
+//! `viralcast router` child, drives the *router*, and SIGKILLs one
+//! randomly chosen shard per cycle instead of the whole daemon. While
+//! the shard is down the router must keep answering `/v1/predict` with
+//! HTTP 200 and `"partial": true` — a 5xx (or a full outage dressed as
+//! a complete answer) is the failure the mode exists to catch, counted
+//! in `non_partial_5xx`. Durability is verified the same way, except
+//! the final replay unions every shard's data directory (ingests fail
+//! over between shards while one is down).
 
 use std::collections::BTreeSet;
 use std::io::{self, BufRead, BufReader};
@@ -35,6 +46,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use viralcast_cluster::ClusterManifest;
 use viralcast_obs::{self as obs, JsonValue};
 use viralcast_propagation::Cascade;
 use viralcast_serve::client;
@@ -57,8 +69,13 @@ pub struct ChaosConfig {
     pub steady: Duration,
     /// How long a restarted daemon gets to answer `/healthz` again.
     pub recovery_timeout: Duration,
-    /// Seed for the workers' retry jitter.
+    /// Seed for the workers' retry jitter (and the cluster mode's
+    /// victim selection).
     pub seed: u64,
+    /// `0` (or `1`) runs the single-box kill loop; `≥ 2` boots that
+    /// many shards behind a router and kills one random shard per
+    /// cycle instead.
+    pub cluster_shards: usize,
 }
 
 impl Default for ChaosConfig {
@@ -71,6 +88,7 @@ impl Default for ChaosConfig {
             steady: Duration::from_secs(2),
             recovery_timeout: Duration::from_secs(30),
             seed: 1,
+            cluster_shards: 0,
         }
     }
 }
@@ -113,12 +131,20 @@ pub struct ChaosSummary {
     pub retries: u64,
     /// 5xx responses observed while the daemon was supposedly healthy.
     pub post_recovery_5xx: u64,
+    /// Cluster mode: router probe responses carrying `"partial": true`
+    /// while a shard was down (0 for single-box runs).
+    pub partial_responses: u64,
+    /// Cluster mode: router probes that answered 5xx (or failed below
+    /// HTTP) while a shard was down — the router's one forbidden
+    /// behaviour. Always 0 for single-box runs.
+    pub non_partial_5xx: u64,
 }
 
 impl ChaosSummary {
-    /// Zero acked-event loss and every restart inside its deadline.
+    /// Zero acked-event loss, every restart inside its deadline, and
+    /// (cluster mode) never a 5xx while degraded.
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.post_recovery_5xx == 0
+        self.missing.is_empty() && self.post_recovery_5xx == 0 && self.non_partial_5xx == 0
     }
 
     /// The summary as run-report attributes (the `BENCH_chaos.json`
@@ -151,6 +177,8 @@ impl ChaosSummary {
             ("io_errors".into(), self.io_errors.into()),
             ("retries".into(), self.retries.into()),
             ("post_recovery_5xx".into(), self.post_recovery_5xx.into()),
+            ("partial_responses".into(), self.partial_responses.into()),
+            ("non_partial_5xx".into(), self.non_partial_5xx.into()),
         ]
     }
 }
@@ -205,10 +233,23 @@ pub struct VerifyOutcome {
 /// Replays `data_dir` in-process (the daemon is dead by now) and checks
 /// every acked sequence number against what the log actually holds.
 pub fn verify_recovered(data_dir: &Path, acked: &BTreeSet<u64>) -> io::Result<VerifyOutcome> {
-    let (store, recovery) = EventStore::open(data_dir, WalOptions::default())?;
-    // Read-only pass: skip the close-time sync.
-    store.abandon();
-    let recovered: BTreeSet<u64> = recovery.pending.iter().filter_map(decode_seq).collect();
+    verify_recovered_across(std::slice::from_ref(&data_dir.to_path_buf()), acked)
+}
+
+/// [`verify_recovered`] over several data directories at once — the
+/// cluster mode's final audit, where an acked ingest may sit in *any*
+/// shard's log (ingests fail over while their owner is down).
+pub fn verify_recovered_across(
+    data_dirs: &[PathBuf],
+    acked: &BTreeSet<u64>,
+) -> io::Result<VerifyOutcome> {
+    let mut recovered: BTreeSet<u64> = BTreeSet::new();
+    for dir in data_dirs {
+        let (store, recovery) = EventStore::open(dir, WalOptions::default())?;
+        // Read-only pass: skip the close-time sync.
+        store.abandon();
+        recovered.extend(recovery.pending.iter().filter_map(decode_seq));
+    }
     let missing: Vec<u64> = acked.difference(&recovered).copied().collect();
     Ok(VerifyOutcome {
         recovered: recovered.len() as u64,
@@ -264,22 +305,10 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosSummary, String> {
     if config.cycles == 0 {
         return Err("--cycles must be positive".into());
     }
-    match std::fs::read_dir(&config.data_dir) {
-        Ok(mut entries) => {
-            if entries.next().is_some() {
-                return Err(format!(
-                    "data dir {} is not empty; the final replay must see only \
-                     this run's traffic (pass a fresh directory)",
-                    config.data_dir.display()
-                ));
-            }
-        }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            std::fs::create_dir_all(&config.data_dir)
-                .map_err(|e| format!("cannot create {}: {e}", config.data_dir.display()))?;
-        }
-        Err(e) => return Err(format!("cannot read {}: {e}", config.data_dir.display())),
+    if config.cluster_shards >= 2 {
+        return run_cluster(config);
     }
+    ensure_empty_data_dir(&config.data_dir)?;
 
     let (mut child, first_addr) = spawn_daemon(config)?;
     let boot_deadline = Instant::now() + config.recovery_timeout;
@@ -288,7 +317,6 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosSummary, String> {
         return Err(format!("daemon never became healthy: {e}"));
     }
     let nodes = crate::loadgen::probe_node_count(&first_addr)?;
-
     let shared = Shared {
         phase: AtomicU8::new(PHASE_RUN),
         disrupted: AtomicBool::new(false),
@@ -360,7 +388,267 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosSummary, String> {
         .collect();
     let verify = verify_recovered(&config.data_dir, &acked)
         .map_err(|e| format!("cannot replay {}: {e}", config.data_dir.display()))?;
+    Ok(finish_summary(&results, recovery_ms, &acked, verify, 0, 0))
+}
 
+/// Refuses a non-empty data directory (creating it if absent), so the
+/// final replay sees exactly this run's traffic.
+fn ensure_empty_data_dir(data_dir: &Path) -> Result<(), String> {
+    match std::fs::read_dir(data_dir) {
+        Ok(mut entries) => {
+            if entries.next().is_some() {
+                return Err(format!(
+                    "data dir {} is not empty; the final replay must see only \
+                     this run's traffic (pass a fresh directory)",
+                    data_dir.display()
+                ));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => std::fs::create_dir_all(data_dir)
+            .map_err(|e| format!("cannot create {}: {e}", data_dir.display())),
+        Err(e) => Err(format!("cannot read {}: {e}", data_dir.display())),
+    }
+}
+
+/// How many partial-response probes each down-window collects before
+/// moving on to the respawn.
+const PARTIALS_PER_CYCLE: u64 = 3;
+
+/// The cluster kill loop: N shard children behind a router child, one
+/// random shard SIGKILLed per cycle. While the shard is down the router
+/// is probed directly: every `/v1/predict` answer must stay HTTP 200,
+/// and the cycle must produce at least one `"partial": true` body
+/// before its recovery deadline — a router that 5xxes (or stalls) while
+/// one shard is dead fails the run. The final durability audit unions
+/// every shard's data directory, because ingests fail over to surviving
+/// shards while their owner is down.
+fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
+    let shards = config.cluster_shards;
+    ensure_empty_data_dir(&config.data_dir)?;
+
+    // Reserve one loopback port per shard, then free them for the
+    // children to bind: the manifest must name fixed addresses.
+    let addrs: Vec<SocketAddr> = {
+        let listeners = (0..shards)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
+            .collect::<io::Result<Vec<_>>>()
+            .map_err(|e| format!("cannot reserve shard ports: {e}"))?;
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("bound listener has an address"))
+            .collect()
+    };
+    let manifest = ClusterManifest::round_robin(&addrs)?;
+    let manifest_path = config.data_dir.join("cluster-manifest.json");
+    manifest.save(&manifest_path)?;
+
+    let shard_dirs: Vec<PathBuf> = (0..shards)
+        .map(|i| config.data_dir.join(format!("shard-{i}")))
+        .collect();
+    let mut children: Vec<Child> = Vec::with_capacity(shards);
+    let mut boot_error: Option<String> = None;
+    for i in 0..shards {
+        let extra = vec![
+            "--shard".to_string(),
+            format!("{i}/{shards}"),
+            "--cluster-manifest".to_string(),
+            manifest_path.display().to_string(),
+        ];
+        match spawn_serve(config, &addrs[i].to_string(), &shard_dirs[i], &extra) {
+            Ok((child, _)) => children.push(child),
+            Err(e) => {
+                boot_error = Some(format!("shard {i}: {e}"));
+                break;
+            }
+        }
+    }
+    let router = if boot_error.is_none() {
+        match spawn_router(&manifest_path) {
+            Ok(pair) => Some(pair),
+            Err(e) => {
+                boot_error = Some(format!("router: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let kill_everything = |children: &mut Vec<Child>, router: &mut Option<(Child, SocketAddr)>| {
+        for child in children.iter_mut() {
+            kill_quietly(child);
+        }
+        if let Some((child, _)) = router.as_mut() {
+            kill_quietly(child);
+        }
+    };
+    let mut router = router;
+    if let Some(e) = boot_error {
+        kill_everything(&mut children, &mut router);
+        return Err(e);
+    }
+    let (_, router_addr) = *router.as_ref().expect("router spawned");
+
+    // Wait for every shard, then for the router's view of the model to
+    // populate (its /healthz reports nodes once its prober has reached
+    // a shard).
+    let boot_deadline = Instant::now() + config.recovery_timeout;
+    for (i, addr) in addrs.iter().enumerate() {
+        if let Err(e) = await_health(addr, boot_deadline) {
+            kill_everything(&mut children, &mut router);
+            return Err(format!("shard {i} never became healthy: {e}"));
+        }
+    }
+    let nodes = match await_node_count(&router_addr, boot_deadline) {
+        Ok(nodes) => nodes,
+        Err(e) => {
+            kill_everything(&mut children, &mut router);
+            return Err(format!("router never reported the model: {e}"));
+        }
+    };
+
+    let shared = Shared {
+        phase: AtomicU8::new(PHASE_RUN),
+        disrupted: AtomicBool::new(false),
+        addr: Mutex::new(router_addr),
+        next_seq: AtomicU64::new(0),
+    };
+    let mut victim_rng = crate::loadgen::XorShift64::new(config.seed);
+
+    let mut results: Vec<ChaosWorker> = Vec::new();
+    let mut recovery_ms: Vec<f64> = Vec::new();
+    let mut partial_responses = 0u64;
+    let mut non_partial_5xx = 0u64;
+    let mut loop_error: Option<String> = None;
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let seed = config
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                scope.spawn(move || worker_loop(shared, nodes, seed))
+            })
+            .collect();
+
+        let probe_body = r#"{"cascade":[{"node":0,"time":0.0}],"top":5}"#;
+        for cycle in 1..=config.cycles {
+            std::thread::sleep(config.steady);
+            let victim = victim_rng.below(shards as u64) as usize;
+            shared.disrupted.store(true, Ordering::SeqCst);
+            let killed_at = Instant::now();
+            kill_quietly(&mut children[victim]);
+            let deadline = killed_at + config.recovery_timeout;
+
+            // Interrogate the router while the shard is a corpse: it
+            // must degrade (200 + "partial": true), never 5xx.
+            let mut partials_seen = 0u64;
+            while partials_seen < PARTIALS_PER_CYCLE && Instant::now() < deadline {
+                match client::request(&router_addr, "POST", "/v1/predict", Some(probe_body)) {
+                    Ok(resp) if resp.status >= 500 => non_partial_5xx += 1,
+                    Ok(resp) if resp.status == 200 && resp.body.contains("\"partial\":true") => {
+                        partials_seen += 1;
+                    }
+                    Ok(_) | Err(_) => {}
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            partial_responses += partials_seen;
+            if partials_seen == 0 {
+                loop_error = Some(format!(
+                    "cycle {cycle}: router never answered partial while shard {victim} was down"
+                ));
+                break;
+            }
+
+            match spawn_serve(
+                config,
+                &addrs[victim].to_string(),
+                &shard_dirs[victim],
+                &[
+                    "--shard".to_string(),
+                    format!("{victim}/{shards}"),
+                    "--cluster-manifest".to_string(),
+                    manifest_path.display().to_string(),
+                ],
+            ) {
+                Ok((next_child, _)) => {
+                    children[victim] = next_child;
+                    if let Err(e) = await_health(&addrs[victim], deadline) {
+                        loop_error = Some(format!("cycle {cycle}: {e}"));
+                        break;
+                    }
+                    let elapsed = killed_at.elapsed().as_secs_f64() * 1000.0;
+                    recovery_ms.push(elapsed);
+                    shared.disrupted.store(false, Ordering::SeqCst);
+                    obs::info(
+                        "chaos",
+                        &format!(
+                            "cycle {cycle}: shard {victim} recovered in {elapsed:.0} ms \
+                             ({partials_seen} partial response(s) while down)"
+                        ),
+                        &[("addr", addrs[victim].to_string().into())],
+                    );
+                }
+                Err(e) => {
+                    loop_error = Some(format!("cycle {cycle}: respawn of shard {victim}: {e}"));
+                    break;
+                }
+            }
+        }
+        if loop_error.is_none() {
+            // A final steady window so post-recovery behaviour is observed.
+            std::thread::sleep(config.steady);
+        }
+        shared.phase.store(PHASE_STOP, Ordering::SeqCst);
+        for handle in handles {
+            results.push(handle.join().unwrap_or_default());
+        }
+    });
+    // The ultimate crash: SIGKILL everything, then audit every disk.
+    kill_everything(&mut children, &mut router);
+    if let Some(e) = loop_error {
+        return Err(e);
+    }
+
+    let acked: BTreeSet<u64> = results
+        .iter()
+        .flat_map(|r| r.acked.iter().copied())
+        .collect();
+    let verify = verify_recovered_across(&shard_dirs, &acked)
+        .map_err(|e| format!("cannot replay the shard data dirs: {e}"))?;
+    Ok(finish_summary(
+        &results,
+        recovery_ms,
+        &acked,
+        verify,
+        partial_responses,
+        non_partial_5xx,
+    ))
+}
+
+/// Polls `/healthz` until it reports a non-empty model (a router's view
+/// populates only after its first successful shard probe).
+fn await_node_count(addr: &SocketAddr, deadline: Instant) -> Result<usize, String> {
+    loop {
+        match crate::loadgen::probe_node_count(addr) {
+            Ok(nodes) => return Ok(nodes),
+            Err(e) if Instant::now() > deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Folds the per-worker tallies, recovery samples, and replay verdict
+/// into the run summary. Shared by the single-box and cluster paths.
+fn finish_summary(
+    results: &[ChaosWorker],
+    recovery_ms: Vec<f64>,
+    acked: &BTreeSet<u64>,
+    verify: VerifyOutcome,
+    partial_responses: u64,
+    non_partial_5xx: u64,
+) -> ChaosSummary {
     let mut steady_us: Vec<u64> = results
         .iter()
         .flat_map(|r| r.steady_us.iter().copied())
@@ -380,7 +668,7 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosSummary, String> {
     let acked_count = acked.len() as u64;
     let steady_p99 = crate::loadgen::percentile_ms(&steady_us, 0.99);
     let disrupted_p99 = crate::loadgen::percentile_ms(&disrupted_us, 0.99);
-    Ok(ChaosSummary {
+    ChaosSummary {
         kill_cycles: recovery_ms.len() as u32,
         acked: acked_count,
         recovered: verify.recovered,
@@ -405,7 +693,9 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosSummary, String> {
         io_errors: sum(|r| r.io_errors),
         retries: sum(|r| r.retries),
         post_recovery_5xx: sum(|r| r.post_recovery_5xx),
-    })
+        partial_responses,
+        non_partial_5xx,
+    }
 }
 
 /// One closed-loop worker: allocate a sequence number, ingest it (every
@@ -479,15 +769,26 @@ fn worker_loop(shared: &Shared, nodes: usize, seed: u64) -> ChaosWorker {
 /// is effectively disabled so every acked ingest stays in the WAL for
 /// the final replay instead of being folded into a checkpoint.
 fn spawn_daemon(config: &ChaosConfig) -> Result<(Child, SocketAddr), String> {
+    spawn_serve(config, "127.0.0.1:0", &config.data_dir, &[])
+}
+
+/// Spawns one `viralcast serve` child — the single-box daemon, or one
+/// shard of the cluster when `extra` carries `--shard`/`--cluster-manifest`.
+fn spawn_serve(
+    config: &ChaosConfig,
+    addr: &str,
+    data_dir: &Path,
+    extra: &[String],
+) -> Result<(Child, SocketAddr), String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
-    let mut child = Command::new(exe)
-        .arg("serve")
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve")
         .arg("--embeddings")
         .arg(&config.embeddings)
         .arg("--data-dir")
-        .arg(&config.data_dir)
+        .arg(data_dir)
         .arg("--addr")
-        .arg("127.0.0.1:0")
+        .arg(addr)
         .arg("--fsync")
         .arg("always")
         .arg("--retrain-interval")
@@ -497,12 +798,36 @@ fn spawn_daemon(config: &ChaosConfig) -> Result<(Child, SocketAddr), String> {
         .arg("--ingest-capacity")
         .arg("1000000")
         .arg("--log-level")
-        .arg("error")
+        .arg("error");
+    for arg in extra {
+        cmd.arg(arg);
+    }
+    spawn_and_scrape(cmd, "serve")
+}
+
+/// Spawns the `viralcast router` child fronting the cluster.
+fn spawn_router(manifest_path: &Path) -> Result<(Child, SocketAddr), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("router")
+        .arg("--cluster-manifest")
+        .arg(manifest_path)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--log-level")
+        .arg("error");
+    spawn_and_scrape(cmd, "router")
+}
+
+/// Spawns a child and scrapes the bound address from its
+/// `… listening on http://HOST:PORT …` startup banner.
+fn spawn_and_scrape(mut cmd: Command, kind: &str) -> Result<(Child, SocketAddr), String> {
+    let mut child = cmd
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
-        .map_err(|e| format!("cannot spawn serve child: {e}"))?;
+        .map_err(|e| format!("cannot spawn {kind} child: {e}"))?;
     let stdout = child.stdout.take().expect("stdout was piped");
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
@@ -510,10 +835,10 @@ fn spawn_daemon(config: &ChaosConfig) -> Result<(Child, SocketAddr), String> {
         line.clear();
         let n = reader
             .read_line(&mut line)
-            .map_err(|e| format!("reading serve child stdout: {e}"))?;
+            .map_err(|e| format!("reading {kind} child stdout: {e}"))?;
         if n == 0 {
             kill_quietly(&mut child);
-            return Err("serve child exited before announcing its address".into());
+            return Err(format!("{kind} child exited before announcing its address"));
         }
         if let Some(addr) = parse_listen_line(&line) {
             // Keep draining in the background so the child never blocks
@@ -628,6 +953,8 @@ mod tests {
             io_errors: 2,
             retries: 9,
             post_recovery_5xx: 0,
+            partial_responses: 6,
+            non_partial_5xx: 0,
         };
         assert!(summary.passed());
         let json = JsonValue::Obj(summary.attrs()).render();
@@ -640,14 +967,22 @@ mod tests {
             "\"p99_degradation\":10",
             "\"shed_rate\":",
             "\"post_recovery_5xx\":0",
+            "\"partial_responses\":6",
+            "\"non_partial_5xx\":0",
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }
 
         let lossy = ChaosSummary {
             missing: vec![42],
-            ..summary
+            ..summary.clone()
         };
         assert!(!lossy.passed());
+
+        let outage = ChaosSummary {
+            non_partial_5xx: 1,
+            ..summary
+        };
+        assert!(!outage.passed());
     }
 }

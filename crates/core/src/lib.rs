@@ -71,6 +71,7 @@ pub use pipeline::{
 
 // Re-export the component crates under stable names so downstream users
 // need only one dependency.
+pub use viralcast_cluster as cluster;
 pub use viralcast_community as community;
 pub use viralcast_embed as embed;
 pub use viralcast_gdelt as gdelt;

@@ -19,14 +19,28 @@
 //! The harness reuses [`viralcast_serve::client`] — the same
 //! std-only one-connection-per-request client the integration tests use
 //! — and needs nothing outside the workspace. Each exchange goes through
-//! [`client::request_with_retry`], so connection resets, mid-response
+//! [`client::request_with_retry_on`] over an *endpoint list*, so a run
+//! can target a single daemon or a router-plus-shards cluster; retries
+//! rotate away from a dead endpoint, and connection resets, mid-response
 //! EOFs, and 429/503 responses are absorbed with capped, jittered
-//! backoff; the retries spent are reported separately so a run against a
+//! backoff. The retries spent are reported separately so a run against a
 //! flapping daemon is visibly different from a clean one.
+//!
+//! Besides the closed-loop mix, `--scenario flash-crowd` replays a
+//! [`ScenarioTimeline`]'s burst arrivals *open-loop* through
+//! `/v1/ingest`: event arrival times from a hostile-world timeline (a
+//! flash crowd an order of magnitude over baseline) are mapped onto the
+//! measurement window and fired on schedule whether or not the previous
+//! response has landed — the regime the paper's viral events actually
+//! produce, and the one closed-loop load can never create.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::{Duration, Instant};
+use viralcast_gdelt::generator::{GdeltConfig, GdeltWorld};
+use viralcast_gdelt::scenario::{FlashCrowd, ScenarioConfig, ScenarioTimeline};
 use viralcast_obs::JsonValue;
 use viralcast_serve::{client, json};
 
@@ -142,32 +156,66 @@ pub fn parse_mix(raw: &str) -> Result<[u32; 4], String> {
     Ok(weights)
 }
 
+/// The arrival regimes `--scenario` can replay instead of the
+/// closed-loop mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadScenario {
+    /// A hostile-world flash crowd: ingest arrivals from a
+    /// [`ScenarioTimeline`] whose middle hours burst an order of
+    /// magnitude over baseline, mapped onto the measurement window and
+    /// fired open-loop.
+    FlashCrowd,
+}
+
+impl LoadScenario {
+    /// Parses a `--scenario` value.
+    pub fn parse(raw: &str) -> Result<LoadScenario, String> {
+        match raw.trim() {
+            "flash-crowd" => Ok(LoadScenario::FlashCrowd),
+            other => Err(format!("unknown scenario {other:?} (expected flash-crowd)")),
+        }
+    }
+
+    /// The scenario's report key.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadScenario::FlashCrowd => "flash-crowd",
+        }
+    }
+}
+
 /// One loadgen run's knobs.
 #[derive(Clone, Debug)]
 pub struct LoadgenConfig {
-    /// The daemon to drive.
-    pub addr: SocketAddr,
+    /// The daemon(s) to drive — one address, or a list the retry layer
+    /// rotates across.
+    pub endpoints: client::Endpoints,
     /// Concurrent closed-loop workers.
     pub workers: usize,
     /// Measurement-window length.
     pub duration: Duration,
-    /// Warmup length (samples discarded).
+    /// Warmup length (samples discarded; ignored by scenario runs,
+    /// which measure their whole schedule).
     pub warmup: Duration,
     /// Per-endpoint weights, indexed by [`Endpoint::index`].
     pub mix: [u32; 4],
     /// PRNG seed; the request stream is a pure function of it.
     pub seed: u64,
+    /// `None` runs the closed-loop mix; `Some` replays a scenario's
+    /// arrival process open-loop instead.
+    pub scenario: Option<LoadScenario>,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> LoadgenConfig {
         LoadgenConfig {
-            addr: SocketAddr::from(([127, 0, 0, 1], 8080)),
+            endpoints: client::Endpoints::single(SocketAddr::from(([127, 0, 0, 1], 8080))),
             workers: 4,
             duration: Duration::from_secs(10),
             warmup: Duration::from_secs(2),
             mix: [4, 2, 1, 1],
             seed: 1,
+            scenario: None,
         }
     }
 }
@@ -185,6 +233,36 @@ pub struct EndpointStats {
     pub p99_ms: Option<f64>,
     /// Worst observed latency in milliseconds.
     pub max_ms: Option<f64>,
+}
+
+/// What a scenario replay scheduled, beyond the request tallies.
+#[derive(Clone, Debug)]
+pub struct ScenarioStats {
+    /// The scenario's label (`flash-crowd`).
+    pub name: &'static str,
+    /// Ingest arrivals the timeline scheduled into the window.
+    pub arrivals: u64,
+    /// Burst window start, seconds into the schedule.
+    pub burst_start_s: f64,
+    /// Burst window end, seconds into the schedule.
+    pub burst_end_s: f64,
+    /// Scheduled arrival rate outside the burst window.
+    pub baseline_rps: f64,
+    /// Scheduled arrival rate inside the burst window.
+    pub burst_rps: f64,
+}
+
+impl ScenarioStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("name", JsonValue::from(self.name)),
+            ("arrivals", JsonValue::from(self.arrivals)),
+            ("burst_start_s", JsonValue::from(self.burst_start_s)),
+            ("burst_end_s", JsonValue::from(self.burst_end_s)),
+            ("baseline_rps", JsonValue::from(self.baseline_rps)),
+            ("burst_rps", JsonValue::from(self.burst_rps)),
+        ])
+    }
 }
 
 /// What one run measured.
@@ -213,6 +291,8 @@ pub struct LoadgenSummary {
     pub shed_rate: f64,
     /// Per-endpoint latency quantiles, in [`ENDPOINTS`] order.
     pub endpoints: Vec<EndpointStats>,
+    /// Scenario schedule detail; `None` for closed-loop runs.
+    pub scenario: Option<ScenarioStats>,
 }
 
 impl LoadgenSummary {
@@ -235,7 +315,7 @@ impl LoadgenSummary {
                 })
                 .collect(),
         );
-        vec![
+        let mut attrs = vec![
             ("measured_seconds".into(), self.measured_seconds.into()),
             ("total_requests".into(), self.total_requests.into()),
             ("throughput_rps".into(), self.throughput_rps.into()),
@@ -247,7 +327,11 @@ impl LoadgenSummary {
             ("retries".into(), self.retries.into()),
             ("shed_rate".into(), self.shed_rate.into()),
             ("endpoints".into(), endpoints),
-        ]
+        ];
+        if let Some(scenario) = &self.scenario {
+            attrs.push(("scenario".into(), scenario.to_json()));
+        }
+        attrs
     }
 }
 
@@ -286,15 +370,32 @@ pub fn probe_node_count(addr: &SocketAddr) -> Result<usize, String> {
     Ok(nodes as usize)
 }
 
-/// Runs the closed-loop workload and returns the measured summary.
+/// [`probe_node_count`] over an endpoint list: the first endpoint that
+/// answers wins, so a run against a degraded cluster still starts.
+pub fn probe_node_count_any(endpoints: &client::Endpoints) -> Result<usize, String> {
+    let mut last = String::new();
+    for addr in endpoints.addrs() {
+        match probe_node_count(addr) {
+            Ok(nodes) => return Ok(nodes),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Runs the configured workload — closed-loop mix or an open-loop
+/// scenario replay — and returns the measured summary.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     if config.workers == 0 {
         return Err("--workers must be positive".into());
     }
+    if let Some(scenario) = config.scenario {
+        return run_scenario(config, scenario);
+    }
     if config.mix.iter().all(|&w| w == 0) {
         return Err("traffic mix has no positive weights".into());
     }
-    let nodes = probe_node_count(&config.addr)?;
+    let nodes = probe_node_count_any(&config.endpoints)?;
     let phase = AtomicU8::new(PHASE_WARMUP);
 
     let mut results: Vec<WorkerResult> = Vec::new();
@@ -303,14 +404,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         let phase = &phase;
         let handles: Vec<_> = (0..config.workers)
             .map(|w| {
-                let addr = config.addr;
+                let endpoints = &config.endpoints;
                 let mix = config.mix;
                 // Distinct odd-spaced seeds per worker keep streams
                 // decorrelated while the whole run stays reproducible.
                 let seed = config
                     .seed
                     .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
-                scope.spawn(move || worker_loop(w, addr, nodes, mix, seed, phase))
+                scope.spawn(move || worker_loop(w, endpoints, nodes, mix, seed, phase))
             })
             .collect();
 
@@ -329,9 +430,197 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     Ok(summarise(&results, measured_seconds))
 }
 
+/// One scheduled scenario arrival: when to fire (relative to the run
+/// start) and the ingest body to send.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduledIngest {
+    /// Offset into the schedule.
+    pub fire_at: Duration,
+    /// The `/v1/ingest` request body.
+    pub body: String,
+}
+
+/// The flash-crowd timeline the scenario replays: a 24-hour hostile
+/// world with one global burst an order of magnitude over baseline in
+/// hours 10–14.
+const SCENARIO_HORIZON_HOURS: f64 = 24.0;
+const SCENARIO_BASE_EVENTS_PER_HOUR: f64 = 40.0;
+const SCENARIO_BURST_START_HOUR: f64 = 10.0;
+const SCENARIO_BURST_HOURS: f64 = 4.0;
+const SCENARIO_BURST_MAGNITUDE: f64 = 10.0;
+
+/// Generates the flash-crowd ingest schedule: a [`ScenarioTimeline`]
+/// over a small synthetic world, its event arrival hours mapped linearly
+/// onto `window`, each event's cascade re-homed onto the served model's
+/// `0..nodes` universe. Deterministic given `seed`.
+pub fn flash_crowd_schedule(seed: u64, nodes: usize, window: Duration) -> Vec<ScheduledIngest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let world = GdeltWorld::generate(GdeltConfig::small(), &mut rng);
+    let timeline = ScenarioTimeline::generate(
+        &world,
+        &ScenarioConfig {
+            horizon_hours: SCENARIO_HORIZON_HOURS,
+            base_events_per_hour: SCENARIO_BASE_EVENTS_PER_HOUR,
+            flash_crowds: vec![FlashCrowd {
+                start_hour: SCENARIO_BURST_START_HOUR,
+                duration_hours: SCENARIO_BURST_HOURS,
+                magnitude: SCENARIO_BURST_MAGNITUDE,
+                region: None,
+            }],
+            ..ScenarioConfig::default()
+        },
+        &mut rng,
+    );
+    let scale = window.as_secs_f64() / SCENARIO_HORIZON_HOURS;
+    let mut schedule: Vec<ScheduledIngest> = timeline
+        .events()
+        .iter()
+        .filter_map(|event| {
+            let body = ingest_body_for(event.cascade.infections(), nodes)?;
+            Some(ScheduledIngest {
+                fire_at: Duration::from_secs_f64(event.start_hour * scale),
+                body,
+            })
+        })
+        .collect();
+    schedule.sort_by_key(|s| s.fire_at);
+    schedule
+}
+
+/// Re-homes a timeline cascade onto the served model: node ids wrap
+/// modulo `nodes`, duplicates after the wrap are dropped (keeping the
+/// earliest adoption), and a cascade left empty yields `None`.
+fn ingest_body_for(
+    infections: &[viralcast_propagation::Infection],
+    nodes: usize,
+) -> Option<String> {
+    let n = nodes.max(1) as u64;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut parts = Vec::new();
+    for inf in infections {
+        let node = inf.node.index() as u64 % n;
+        if seen.insert(node) {
+            parts.push(format!(r#"{{"node":{node},"time":{}}}"#, inf.time));
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    Some(format!(r#"{{"cascades":[[{}]]}}"#, parts.join(",")))
+}
+
+/// Replays a scenario schedule open-loop: arrivals are partitioned
+/// round-robin across the workers and each fires at its scheduled
+/// offset whether or not the previous response has landed (a worker
+/// that falls behind sends back-to-back — exactly how a real flash
+/// crowd outruns a server). All traffic is `/v1/ingest`; the whole
+/// schedule is measured (no warmup discard).
+fn run_scenario(config: &LoadgenConfig, scenario: LoadScenario) -> Result<LoadgenSummary, String> {
+    let nodes = probe_node_count_any(&config.endpoints)?;
+    let schedule = match scenario {
+        LoadScenario::FlashCrowd => flash_crowd_schedule(config.seed, nodes, config.duration),
+    };
+    if schedule.is_empty() {
+        return Err("scenario produced an empty arrival schedule".into());
+    }
+
+    let mut results: Vec<WorkerResult> = Vec::new();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let endpoints = &config.endpoints;
+                let mine: Vec<&ScheduledIngest> =
+                    schedule.iter().skip(w).step_by(config.workers).collect();
+                let seed = config
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                scope.spawn(move || scenario_worker(w, endpoints, &mine, start, seed))
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().unwrap_or_default());
+        }
+    });
+    let measured_seconds = start.elapsed().as_secs_f64();
+
+    let scale = config.duration.as_secs_f64() / SCENARIO_HORIZON_HOURS;
+    let burst_start_s = SCENARIO_BURST_START_HOUR * scale;
+    let burst_end_s = (SCENARIO_BURST_START_HOUR + SCENARIO_BURST_HOURS) * scale;
+    let in_burst = schedule
+        .iter()
+        .filter(|s| {
+            let t = s.fire_at.as_secs_f64();
+            t >= burst_start_s && t < burst_end_s
+        })
+        .count() as u64;
+    let arrivals = schedule.len() as u64;
+    let burst_len = (burst_end_s - burst_start_s).max(f64::MIN_POSITIVE);
+    let outside_len = (config.duration.as_secs_f64() - burst_len).max(f64::MIN_POSITIVE);
+    let mut summary = summarise(&results, measured_seconds);
+    summary.scenario = Some(ScenarioStats {
+        name: scenario.label(),
+        arrivals,
+        burst_start_s,
+        burst_end_s,
+        baseline_rps: (arrivals - in_burst) as f64 / outside_len,
+        burst_rps: in_burst as f64 / burst_len,
+    });
+    Ok(summary)
+}
+
+/// One open-loop scenario worker over its slice of the schedule.
+fn scenario_worker(
+    worker: usize,
+    endpoints: &client::Endpoints,
+    schedule: &[&ScheduledIngest],
+    start: Instant,
+    seed: u64,
+) -> WorkerResult {
+    let mut result = WorkerResult::default();
+    let policy = client::RetryPolicy {
+        jitter_seed: seed,
+        ..client::RetryPolicy::default()
+    };
+    for (seq, item) in schedule.iter().enumerate() {
+        if let Some(wait) = item.fire_at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let trace_id = format!("fc-{worker}-{seq:x}");
+        let started = Instant::now();
+        let outcome = client::request_with_retry_on(
+            endpoints,
+            "POST",
+            "/v1/ingest",
+            Some(&item.body),
+            &[("X-Request-Id", &trace_id)],
+            &policy,
+        );
+        match outcome {
+            Ok(retried) => {
+                result.retries += u64::from(retried.retries());
+                result.latencies_us[Endpoint::Ingest.index()]
+                    .push(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                match retried.response.status {
+                    200..=299 => result.http_2xx += 1,
+                    429 => result.http_429 += 1,
+                    400..=499 => result.http_4xx += 1,
+                    500..=599 => result.http_5xx += 1,
+                    _ => result.http_4xx += 1,
+                }
+            }
+            Err(_) => {
+                result.retries += u64::from(policy.max_attempts.saturating_sub(1));
+                result.io_errors += 1;
+            }
+        }
+    }
+    result
+}
+
 fn worker_loop(
     worker: usize,
-    addr: SocketAddr,
+    endpoints: &client::Endpoints,
     nodes: usize,
     mix: [u32; 4],
     seed: u64,
@@ -355,8 +644,8 @@ fn worker_loop(
         let trace_id = format!("lg-{worker}-{seq:x}");
         seq += 1;
         let started = Instant::now();
-        let outcome = client::request_with_retry(
-            &addr,
+        let outcome = client::request_with_retry_on(
+            endpoints,
             method,
             &target,
             body.as_deref(),
@@ -485,6 +774,7 @@ fn summarise(results: &[WorkerResult], measured_seconds: f64) -> LoadgenSummary 
             0.0
         },
         endpoints,
+        scenario: None,
     }
 }
 
@@ -569,6 +859,69 @@ mod tests {
     }
 
     #[test]
+    fn scenario_names_parse() {
+        assert_eq!(
+            LoadScenario::parse("flash-crowd").unwrap(),
+            LoadScenario::FlashCrowd
+        );
+        assert_eq!(LoadScenario::FlashCrowd.label(), "flash-crowd");
+        assert!(LoadScenario::parse("tsunami").is_err());
+    }
+
+    #[test]
+    fn flash_crowd_schedule_is_deterministic_and_bursty() {
+        let window = Duration::from_secs(12);
+        let a = flash_crowd_schedule(7, 50, window);
+        let b = flash_crowd_schedule(7, 50, window);
+        assert_eq!(a, b, "same seed must yield the identical schedule");
+        assert!(!a.is_empty());
+        // Every arrival fits the window and every body is a valid
+        // single-cascade ingest over the served universe.
+        let scale = window.as_secs_f64() / SCENARIO_HORIZON_HOURS;
+        let burst = (
+            SCENARIO_BURST_START_HOUR * scale,
+            (SCENARIO_BURST_START_HOUR + SCENARIO_BURST_HOURS) * scale,
+        );
+        let mut in_burst = 0usize;
+        for item in &a {
+            let t = item.fire_at.as_secs_f64();
+            assert!(t < window.as_secs_f64() + 1e-9, "arrival at {t}s");
+            if t >= burst.0 && t < burst.1 {
+                in_burst += 1;
+            }
+            assert!(item.body.starts_with(r#"{"cascades":[["#), "{}", item.body);
+            assert!(!item.body.contains("\"node\":50"), "{}", item.body);
+        }
+        // The burst window is 1/6 of the schedule but must hold well
+        // over 1/6 of the arrivals (magnitude 10 over baseline).
+        let outside = a.len() - in_burst;
+        assert!(
+            in_burst * 2 > outside,
+            "burst holds {in_burst} of {} arrivals — no flash crowd",
+            a.len()
+        );
+        // A different seed actually changes the stream.
+        assert_ne!(flash_crowd_schedule(8, 50, window), a);
+    }
+
+    #[test]
+    fn ingest_bodies_dedup_wrapped_nodes() {
+        use viralcast_propagation::Infection;
+        // Nodes 0 and 5 collide modulo 5: the earlier adoption wins.
+        let infections = vec![
+            Infection::new(0u32, 0.0),
+            Infection::new(5u32, 1.5),
+            Infection::new(2u32, 2.0),
+        ];
+        let body = ingest_body_for(&infections, 5).unwrap();
+        assert_eq!(
+            body,
+            r#"{"cascades":[[{"node":0,"time":0},{"node":2,"time":2}]]}"#
+        );
+        assert!(ingest_body_for(&[], 5).is_none());
+    }
+
+    #[test]
     fn summary_attrs_cover_the_bench_schema() {
         let results = vec![WorkerResult {
             latencies_us: [vec![1000, 2000], vec![3000], vec![], vec![]],
@@ -592,6 +945,28 @@ mod tests {
             "\"shed_rate\":",
             "\"endpoints\":{\"predict\":{\"requests\":2",
             "\"influencers\":{\"requests\":0,\"p50_ms\":null",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        assert!(
+            !json.contains("\"scenario\""),
+            "closed-loop run grew a scenario"
+        );
+
+        let mut with_scenario = summary;
+        with_scenario.scenario = Some(ScenarioStats {
+            name: "flash-crowd",
+            arrivals: 120,
+            burst_start_s: 5.0,
+            burst_end_s: 7.0,
+            baseline_rps: 4.0,
+            burst_rps: 40.0,
+        });
+        let json = JsonValue::Obj(with_scenario.attrs()).render();
+        for needle in [
+            "\"scenario\":{\"name\":\"flash-crowd\"",
+            "\"arrivals\":120",
+            "\"burst_rps\":40",
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }

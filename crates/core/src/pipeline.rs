@@ -88,8 +88,10 @@ impl InferenceOutcome {
 }
 
 /// Stages 1–2: co-occurrence graph + SLPA communities. The per-stage
-/// spans land in whatever recorder the caller has installed.
-fn detect_communities(cascades: &CascadeSet, options: &InferOptions) -> Partition {
+/// spans land in whatever recorder the caller has installed. Public so
+/// cluster placement (`viralcast cluster-plan`) can align shard
+/// ownership with the same communities inference parallelises over.
+pub fn detect_communities(cascades: &CascadeSet, options: &InferOptions) -> Partition {
     let cooc = CooccurrenceGraph::build(
         cascades.node_count(),
         &cascades.node_sequences(),

@@ -102,7 +102,7 @@ pub fn optimize(
     config: &PgdConfig,
 ) -> PgdReport {
     assert_eq!(a.len(), b.len(), "matrix shapes must match");
-    assert!(k > 0 && a.len().is_multiple_of(k), "bad topic count");
+    assert!(k > 0 && a.len() % k == 0, "bad topic count");
     if cascades.is_empty() || a.is_empty() {
         return PgdReport::empty();
     }

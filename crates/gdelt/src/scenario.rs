@@ -52,7 +52,7 @@ pub struct FlashCrowd {
 
 impl FlashCrowd {
     fn applies(&self, region: usize, hour: f64) -> bool {
-        self.region.is_none_or(|r| r == region)
+        self.region.map_or(true, |r| r == region)
             && hour >= self.start_hour
             && hour < self.start_hour + self.duration_hours
     }

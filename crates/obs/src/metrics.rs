@@ -304,6 +304,40 @@ impl MetricsSnapshot {
         ])
     }
 
+    /// Summarises every histogram whose name starts with `prefix` as
+    /// `{label: {requests, p50_ms, p90_ms, p99_ms, max_ms}}`, keyed by
+    /// the name with the prefix stripped — the table `/healthz` exposes
+    /// for per-endpoint (and, on a cluster router, per-shard) latency.
+    pub fn quantile_table(&self, prefix: &str) -> JsonValue {
+        JsonValue::Obj(
+            self.histograms
+                .iter()
+                .filter_map(|(name, hist)| {
+                    let label = name.strip_prefix(prefix)?;
+                    Some((
+                        label.to_string(),
+                        JsonValue::obj(vec![
+                            ("requests", JsonValue::from(hist.count)),
+                            (
+                                "p50_ms",
+                                hist.p50().map_or(JsonValue::Null, JsonValue::from),
+                            ),
+                            (
+                                "p90_ms",
+                                hist.p90().map_or(JsonValue::Null, JsonValue::from),
+                            ),
+                            (
+                                "p99_ms",
+                                hist.p99().map_or(JsonValue::Null, JsonValue::from),
+                            ),
+                            ("max_ms", JsonValue::from(hist.max)),
+                        ]),
+                    ))
+                })
+                .collect(),
+        )
+    }
+
     /// Prometheus text exposition format (version 0.0.4), the payload a
     /// `/metrics` endpoint returns. Dotted registry names become
     /// underscore-separated metric names; histogram buckets are emitted
@@ -647,6 +681,28 @@ mod tests {
         assert_eq!(prometheus_name("9lives"), "_9lives");
         assert_eq!(prometheus_name("a-b c"), "a_b_c");
         assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn quantile_table_summarises_matching_histograms() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("router.shard.latency_ms.0", &[1.0, 10.0]);
+        for v in [0.5, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        // Empty histograms report null quantiles but still appear.
+        r.histogram("router.shard.latency_ms.1", &[1.0, 10.0]);
+        // Non-matching names are excluded.
+        r.histogram("other.latency_ms.x", &[1.0]).record(1.0);
+        let table = r.snapshot().quantile_table("router.shard.latency_ms.");
+        let text = table.render();
+        assert!(text.contains("\"0\":{\"requests\":4,\"p50_ms\":"), "{text}");
+        assert!(
+            text.contains("\"1\":{\"requests\":0,\"p50_ms\":null"),
+            "{text}"
+        );
+        assert!(!text.contains("other"), "{text}");
+        assert!(text.contains("\"max_ms\":4"), "{text}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use viralcast_graph::NodeId;
 use viralcast_obs::JsonValue;
 use viralcast_propagation::{Cascade, Infection};
 
+use crate::shard::RowBlock;
 use crate::snapshot::ModelSnapshot;
 
 /// `POST /v1/hazard` body: pairwise rate queries.
@@ -109,16 +110,28 @@ pub fn parse_predict(body: &JsonValue) -> Result<PredictRequest, String> {
 /// node `v` gets infected is the sum of `⟨A_u, B_v⟩` over the already
 /// infected `u` — the exact quantity the simulator races on — so ranking
 /// by that sum orders candidates by imminence.
-pub fn predict_json(snap: &ModelSnapshot, req: &PredictRequest) -> Result<JsonValue, String> {
+///
+/// `owned` restricts the candidate scan to the rows a shard owns (see
+/// [`RowBlock`]); `None` scans every row. The infected set is summed in
+/// sorted node order so the same request yields bit-identical rates on
+/// every process — the property that lets a router's merged shard
+/// rankings equal a single box's byte for byte.
+pub fn predict_json(
+    snap: &ModelSnapshot,
+    req: &PredictRequest,
+    owned: Option<&RowBlock>,
+) -> Result<JsonValue, String> {
     let emb = &snap.embeddings;
     for inf in &req.infections {
         check_node(inf.node, emb)?;
     }
-    let infected: std::collections::HashSet<NodeId> =
-        req.infections.iter().map(|i| i.node).collect();
+    let mut infected: Vec<NodeId> = req.infections.iter().map(|i| i.node).collect();
+    infected.sort_unstable();
+    infected.dedup();
     let mut scored: Vec<(NodeId, f64)> = (0..emb.node_count())
         .map(NodeId::new)
-        .filter(|v| !infected.contains(v))
+        .filter(|v| owned.map_or(true, |block| block.contains(*v)))
+        .filter(|v| infected.binary_search(v).is_err())
         .map(|v| {
             let rate: f64 = infected.iter().map(|&u| emb.rate(u, v)).sum();
             (v, rate)
@@ -202,11 +215,13 @@ fn parse_one_cascade(list: &JsonValue, node_count: usize) -> Result<Cascade, Str
 ///
 /// Scores match `viralcast::influencers`: Euclidean norm of `A_u`
 /// globally, single component per topic — recomputed here so the serving
-/// layer stays independent of the facade crate.
+/// layer stays independent of the facade crate. `owned` restricts the
+/// ranking to a shard's rows, as in [`predict_json`].
 pub fn influencers_json(
     snap: &ModelSnapshot,
     topic: Option<usize>,
     top: usize,
+    owned: Option<&RowBlock>,
 ) -> Result<JsonValue, String> {
     let emb = &snap.embeddings;
     if let Some(t) = topic {
@@ -219,6 +234,7 @@ pub fn influencers_json(
     }
     let mut scored: Vec<(NodeId, f64)> = (0..emb.node_count())
         .map(NodeId::new)
+        .filter(|u| owned.map_or(true, |block| block.contains(*u)))
         .map(|u| {
             let row = emb.influence(u);
             let score = match topic {
@@ -335,7 +351,7 @@ mod tests {
     fn predict_ranks_uninfected_by_total_rate() {
         let req = parse_predict(&parse(r#"{"cascade":[{"node":0,"time":0.0}],"top":5}"#).unwrap())
             .unwrap();
-        let out = predict_json(&snapshot(), &req).unwrap();
+        let out = predict_json(&snapshot(), &req, None).unwrap();
         // Candidates are nodes 1 and 2: rate(0,1)=2, rate(0,2)=0.
         let candidates =
             crate::json::as_arr(crate::json::get(&out, "candidates").unwrap()).unwrap();
@@ -384,16 +400,61 @@ mod tests {
     fn influencers_global_and_topic_rankings() {
         let snap = snapshot();
         // Norms: n0 = √5, n1 = √0.5, n2 = 0.
-        let out = influencers_json(&snap, None, 2).unwrap().render();
+        let out = influencers_json(&snap, None, 2, None).unwrap().render();
         let n0 = (5.0f64).sqrt();
         assert!(
             out.contains(&format!("{{\"node\":0,\"score\":{n0}}}")),
             "{out}"
         );
         // Topic 1: n0 = 2.0 leads.
-        let out = influencers_json(&snap, Some(1), 1).unwrap().render();
+        let out = influencers_json(&snap, Some(1), 1, None).unwrap().render();
         assert!(out.contains("\"topic\":1"), "{out}");
         assert!(out.contains("{\"node\":0,\"score\":2}"), "{out}");
-        assert!(influencers_json(&snap, Some(9), 1).is_err());
+        assert!(influencers_json(&snap, Some(9), 1, None).is_err());
+    }
+
+    #[test]
+    fn shard_filter_restricts_candidates_to_owned_rows() {
+        use crate::shard::RowBlock;
+        let snap = snapshot();
+        // Shard 1 of 2 (round-robin over 3 nodes) owns only node 1.
+        let block = RowBlock::round_robin(3, 1, 2).unwrap();
+        let req = parse_predict(&parse(r#"{"cascade":[{"node":0,"time":0.0}],"top":5}"#).unwrap())
+            .unwrap();
+        let out = predict_json(&snap, &req, Some(&block)).unwrap();
+        let candidates =
+            crate::json::as_arr(crate::json::get(&out, "candidates").unwrap()).unwrap();
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(
+            crate::json::as_u64(crate::json::get(&candidates[0], "node").unwrap()),
+            Some(1)
+        );
+        // Influencers under the same mask: only node 1 is ranked.
+        let out = influencers_json(&snap, None, 5, Some(&block))
+            .unwrap()
+            .render();
+        assert!(out.contains("\"node\":1"), "{out}");
+        assert!(!out.contains("\"node\":0"), "{out}");
+        assert!(!out.contains("\"node\":2"), "{out}");
+    }
+
+    #[test]
+    fn shard_filtered_rankings_tile_the_unsharded_ranking() {
+        use crate::shard::RowBlock;
+        let snap = snapshot();
+        let req = parse_predict(&parse(r#"{"cascade":[{"node":0,"time":0.0}],"top":3}"#).unwrap())
+            .unwrap();
+        let full = predict_json(&snap, &req, None).unwrap().render();
+        // Every candidate object a shard emits appears verbatim in the
+        // single-box response — the byte-identity the router relies on.
+        for shard in 0..2 {
+            let block = RowBlock::round_robin(3, shard, 2).unwrap();
+            let part = predict_json(&snap, &req, Some(&block)).unwrap();
+            let candidates =
+                crate::json::as_arr(crate::json::get(&part, "candidates").unwrap()).unwrap();
+            for c in candidates {
+                assert!(full.contains(&c.render()), "{} not in {full}", c.render());
+            }
+        }
     }
 }

@@ -49,6 +49,76 @@ pub fn request(
     request_with_headers(addr, method, target, body, &[])
 }
 
+/// An ordered list of `host:port` endpoints — a router plus its shards,
+/// or several replicas — that the load and chaos harnesses address
+/// uniformly instead of doing string surgery on a single `addr`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Endpoints {
+    addrs: Vec<SocketAddr>,
+}
+
+impl Endpoints {
+    /// Parses a comma-separated list of `host:port` entries (spaces
+    /// around entries tolerated, empty entries rejected).
+    pub fn parse(spec: &str) -> Result<Endpoints, String> {
+        let mut addrs = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(format!("empty endpoint in list {spec:?}"));
+            }
+            let addr = part
+                .parse::<SocketAddr>()
+                .map_err(|e| format!("malformed endpoint {part:?}: {e}"))?;
+            addrs.push(addr);
+        }
+        if addrs.is_empty() {
+            return Err("endpoint list is empty".into());
+        }
+        Ok(Endpoints { addrs })
+    }
+
+    /// A single-endpoint list.
+    pub fn single(addr: SocketAddr) -> Endpoints {
+        Endpoints { addrs: vec![addr] }
+    }
+
+    /// The endpoints, in the order given.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Number of endpoints (≥ 1 by construction).
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Always false — [`Endpoints::parse`] rejects empty lists — but
+    /// present so `len` reads idiomatically.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The endpoint attempt number `attempt` (0-based) should target:
+    /// round-robin across the list, so consecutive retries rotate away
+    /// from a dead endpoint.
+    pub fn rotate(&self, attempt: u32) -> &SocketAddr {
+        &self.addrs[attempt as usize % self.addrs.len()]
+    }
+}
+
+impl std::fmt::Display for Endpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, addr) in self.addrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{addr}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Like [`request`], with extra request headers (e.g. `X-Request-Id`).
 pub fn request_with_headers(
     addr: &SocketAddr,
@@ -57,9 +127,23 @@ pub fn request_with_headers(
     body: Option<&str>,
     headers: &[(&str, &str)],
 ) -> io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    request_with_options(addr, method, target, body, headers, Duration::from_secs(10))
+}
+
+/// Like [`request_with_headers`], with an explicit per-request timeout
+/// covering connect, read, and write — the router's scatter path uses a
+/// tight deadline here so one dead shard cannot stall a fan-out.
+pub fn request_with_options(
+    addr: &SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let payload = body.unwrap_or("");
     let mut head = format!(
         "{method} {target} HTTP/1.1\r\nHost: viralcast\r\nContent-Length: {}\r\n",
@@ -228,9 +312,32 @@ pub fn request_with_retry(
     headers: &[(&str, &str)],
     policy: &RetryPolicy,
 ) -> io::Result<Retried> {
+    request_with_retry_on(
+        &Endpoints::single(*addr),
+        method,
+        target,
+        body,
+        headers,
+        policy,
+    )
+}
+
+/// [`request_with_retry`] over an endpoint list: attempt `n` targets
+/// `endpoints.rotate(n)`, so retries walk away from a dead endpoint
+/// instead of hammering it. With one endpoint this is exactly the
+/// single-address retry loop.
+pub fn request_with_retry_on(
+    endpoints: &Endpoints,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+) -> io::Result<Retried> {
     let attempts_budget = policy.max_attempts.max(1);
     let mut attempts = 0u32;
     loop {
+        let addr = endpoints.rotate(attempts);
         attempts += 1;
         let outcome = request_with_headers(addr, method, target, body, headers);
         let last = attempts >= attempts_budget;
@@ -284,6 +391,63 @@ mod tests {
             ..policy
         };
         assert_ne!(policy.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn endpoints_parse_and_rotate() {
+        let eps = Endpoints::parse("127.0.0.1:7001, 127.0.0.1:7002,127.0.0.1:7003").unwrap();
+        assert_eq!(eps.len(), 3);
+        assert!(!eps.is_empty());
+        assert_eq!(eps.rotate(0).port(), 7001);
+        assert_eq!(eps.rotate(1).port(), 7002);
+        assert_eq!(eps.rotate(3).port(), 7001);
+        assert_eq!(
+            eps.to_string(),
+            "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003"
+        );
+        // Round-trips through its own Display form.
+        assert_eq!(Endpoints::parse(&eps.to_string()).unwrap(), eps);
+    }
+
+    #[test]
+    fn endpoints_reject_malformed_lists() {
+        for bad in ["", ",", "127.0.0.1:1,", "localhost", "127.0.0.1:notaport"] {
+            assert!(Endpoints::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let single = Endpoints::single("127.0.0.1:9".parse().unwrap());
+        assert_eq!(single.addrs().len(), 1);
+    }
+
+    #[test]
+    fn retry_rotates_across_endpoints_to_find_a_live_one() {
+        use std::io::{Read as _, Write as _};
+        // One dead port, one live listener that answers a fixed 200.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Drain the request head before replying; closing with
+            // unread bytes pending would RST the connection and destroy
+            // the response on the wire.
+            let mut head = Vec::new();
+            let mut byte = [0u8; 1];
+            while !head.ends_with(b"\r\n\r\n") && stream.read(&mut byte).is_ok_and(|n| n > 0) {
+                head.push(byte[0]);
+            }
+            let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+        });
+        let eps = Endpoints::parse(&format!("127.0.0.1:9,{live}")).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 3,
+        };
+        let out = request_with_retry_on(&eps, "GET", "/healthz", None, &[], &policy).unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.response.body, "ok");
+        assert_eq!(out.attempts, 2, "first attempt hits the dead port");
+        server.join().unwrap();
     }
 
     #[test]

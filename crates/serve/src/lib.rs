@@ -12,6 +12,8 @@
 //!   crate only writes JSON; the daemon must also read it);
 //! - [`http`] — bounded request parsing and response framing;
 //! - [`snapshot`] — the `Arc`-swapped [`snapshot::ModelSnapshot`] store;
+//! - [`shard`] — [`shard::RowBlock`] candidate-row ownership, the unit a
+//!   cluster places on each daemon;
 //! - [`ingest`] — the bounded cascade buffer behind `POST /v1/ingest`;
 //! - [`api`] — endpoint codecs and model evaluation, socket-free;
 //! - [`trace`] — request-scoped trace IDs (accepted or generated);
@@ -34,16 +36,21 @@ pub mod ingest;
 pub mod json;
 pub mod router;
 pub mod server;
+pub mod shard;
 pub mod signal;
 pub mod snapshot;
 pub mod trace;
 pub mod trainer;
 
-pub use client::{request_with_retry, transient_status, ClientResponse, Retried, RetryPolicy};
+pub use client::{
+    request_with_retry, request_with_retry_on, transient_status, ClientResponse, Endpoints,
+    Retried, RetryPolicy,
+};
 pub use http::{HttpLimits, Request, Response};
 pub use ingest::{DrainedBatch, IngestBuffer, IngestReceipt, TraceMark};
 pub use router::DegradeThresholds;
 pub use server::{start, BootRecovery, ServeConfig, ServerHandle};
+pub use shard::RowBlock;
 pub use signal::install_ctrlc;
 pub use snapshot::{ModelSnapshot, SnapshotStore};
 pub use trainer::{RetrainFn, TrainerConfig};

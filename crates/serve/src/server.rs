@@ -64,6 +64,9 @@ pub struct ServeConfig {
     pub access_log: Option<PathBuf>,
     /// When `/healthz` reports `degraded` instead of `ok`.
     pub degrade: router::DegradeThresholds,
+    /// Candidate row block this daemon owns when serving as one shard
+    /// of a cluster; `None` (the default) serves every row.
+    pub shard: Option<crate::shard::RowBlock>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +83,7 @@ impl Default for ServeConfig {
             wal: WalOptions::default(),
             access_log: None,
             degrade: router::DegradeThresholds::default(),
+            shard: None,
         }
     }
 }
@@ -240,6 +244,7 @@ pub fn start(
         started: Instant::now(),
         access_log,
         degrade: config.degrade,
+        shard: config.shard.clone().map(Arc::new),
     });
 
     let workers = config.workers.max(1);

@@ -232,6 +232,93 @@ smoke_loadgen() {
     echo "loadgen smoke test OK (port $port)"
 }
 
+# Sharded-cluster smoke: a 2-shard round-robin manifest, two shard
+# daemons, and the scatter-gather router in front. A short loadgen burst
+# through the router must see zero 5xx; after SIGKILLing one shard the
+# router must keep answering /v1/predict with HTTP 200 and
+# "partial":true — any 5xx during the outage fails the leg.
+smoke_cluster() {
+    local tmp fixture manifest bench port0 port1 rport pid0 pid1 rpid reply partial
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    fixture="$tmp/embeddings.json"
+    manifest="$tmp/cluster-manifest.json"
+    bench="$tmp/BENCH_cluster_http.json"
+    write_fixture "$fixture"
+
+    # The manifest names fixed shard ports up front; $RANDOM keeps
+    # reruns from colliding.
+    port0=$((20000 + RANDOM % 20000))
+    port1=$((port0 + 1))
+    if ! target/release/viralcast cluster-plan --out "$manifest" \
+        --shards "127.0.0.1:$port0,127.0.0.1:$port1"; then
+        echo "cluster-plan failed" >&2
+        return 1
+    fi
+
+    target/release/viralcast serve --embeddings "$fixture" --workers 2 \
+        --shard 0/2 --cluster-manifest "$manifest" >"$tmp/shard0.log" 2>&1 &
+    pid0=$!
+    target/release/viralcast serve --embeddings "$fixture" --workers 2 \
+        --shard 1/2 --cluster-manifest "$manifest" >"$tmp/shard1.log" 2>&1 &
+    pid1=$!
+    target/release/viralcast router --cluster-manifest "$manifest" \
+        --addr 127.0.0.1:0 --probe-interval 0.2 >"$tmp/router.log" 2>&1 &
+    rpid=$!
+
+    rport="$(await_port "$tmp/router.log")"
+    # The router reports "ok" only once its prober has seen every shard
+    # healthy, so one await covers the whole cluster.
+    if [ -z "$rport" ] || ! await_health "$rport" | grep -q '"status":"ok"'; then
+        echo "cluster never became healthy" >&2
+        cat "$tmp/router.log" "$tmp/shard0.log" "$tmp/shard1.log" >&2
+        kill "$pid0" "$pid1" "$rpid" 2>/dev/null || true
+        return 1
+    fi
+
+    if ! target/release/viralcast loadgen --addr "127.0.0.1:$rport" \
+        --workers 2 --warmup 0.5 --duration 2 --seed 7 --out "$bench"; then
+        echo "loadgen through the router failed" >&2
+        kill "$pid0" "$pid1" "$rpid" 2>/dev/null || true
+        return 1
+    fi
+    if ! grep -q '"http_5xx": *0\b' "$bench"; then
+        echo "router answered 5xx under healthy-cluster load" >&2
+        cat "$bench" >&2
+        kill "$pid0" "$pid1" "$rpid" 2>/dev/null || true
+        return 1
+    fi
+
+    # One shard dies hard; the router must degrade, not fail.
+    kill -9 "$pid1"
+    partial=0
+    for _ in $(seq 1 25); do
+        reply="$(http_post "$rport" /v1/predict \
+            '{"cascade":[{"node":0,"time":0.0}],"top":3}' 2>/dev/null || true)"
+        case "$reply" in
+            *'HTTP/1.1 5'*)
+                echo "router answered 5xx while a shard was down" >&2
+                echo "$reply" >&2
+                kill "$pid0" "$rpid" 2>/dev/null || true
+                return 1
+                ;;
+            *'"partial":true'*) partial=1; break ;;
+        esac
+        sleep 0.2
+    done
+    if [ "$partial" -ne 1 ]; then
+        echo "router never served a partial response during the outage" >&2
+        cat "$tmp/router.log" >&2
+        kill "$pid0" "$rpid" 2>/dev/null || true
+        return 1
+    fi
+
+    kill -INT "$pid0" "$rpid"
+    wait "$pid0" # clean SIGINT shutdowns exit 0; set -e fails otherwise
+    wait "$rpid"
+    echo "cluster smoke test OK (router port $rport, partial answer after shard kill)"
+}
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$build" -eq 1 ]; then
@@ -244,6 +331,7 @@ if [ "$build" -eq 1 ]; then
     run smoke_serve
     run smoke_chaos
     run smoke_loadgen
+    run smoke_cluster
 fi
 
 echo
