@@ -43,15 +43,36 @@ pub struct ClusterManifest {
     pub placement: Placement,
     /// The shards, sorted by id (`shards[i].id == i`).
     pub shards: Vec<ShardSpec>,
+    /// The backend id every shard must serve (`"embed"`, `"netinf"`).
+    /// A single field — not one per shard — makes a mixed-backend
+    /// cluster unrepresentable: shard rankings only merge byte-for-byte
+    /// when every process scores with the same model family.
+    pub backend: String,
 }
 
 impl ClusterManifest {
-    /// A round-robin manifest over the given shard addresses.
+    /// A round-robin manifest over the given shard addresses, serving
+    /// the default embed backend.
     ///
     /// # Errors
     /// The address list must be non-empty and duplicate-free.
     pub fn round_robin(addrs: &[SocketAddr]) -> Result<ClusterManifest, String> {
         Self::build(addrs, Placement::RoundRobin)
+    }
+
+    /// The same manifest with a different (registered) backend id.
+    ///
+    /// # Errors
+    /// The backend must be one of [`viralcast_model::BACKENDS`].
+    pub fn with_backend(mut self, backend: &str) -> Result<ClusterManifest, String> {
+        if !viralcast_model::BACKENDS.contains(&backend) {
+            return Err(format!(
+                "unknown backend {backend:?} (known backends: {})",
+                viralcast_model::BACKENDS.join(", ")
+            ));
+        }
+        self.backend = backend.to_string();
+        Ok(self)
     }
 
     /// A membership manifest: `membership[v]` is the shard owning node
@@ -93,6 +114,7 @@ impl ClusterManifest {
                 .enumerate()
                 .map(|(id, &addr)| ShardSpec { id, addr })
                 .collect(),
+            backend: viralcast_model::EmbeddingBackend::ID.to_string(),
         })
     }
 
@@ -171,12 +193,20 @@ impl ClusterManifest {
             }
         }
         let addrs: Vec<SocketAddr> = entries.iter().map(|s| s.addr).collect();
+        // Manifests written before the backend split carry no key and
+        // default to embed, same as checkpoint manifests.
+        let backend = match json::get(&doc, "backend") {
+            None => viralcast_model::EmbeddingBackend::ID,
+            Some(JsonValue::Str(raw)) => raw.as_str(),
+            Some(_) => return Err("\"backend\" must be a string".into()),
+        }
+        .to_string();
         match json::get(&doc, "placement") {
             Some(JsonValue::Str(kind)) if kind == "round-robin" => {
                 if json::get(&doc, "membership").is_some() {
                     return Err("round-robin placement must not carry a membership".into());
                 }
-                Self::round_robin(&addrs)
+                Self::round_robin(&addrs)?.with_backend(&backend)
             }
             Some(JsonValue::Str(kind)) if kind == "membership" => {
                 let raw = json::as_arr(
@@ -193,7 +223,7 @@ impl ClusterManifest {
                             .ok_or(format!("membership[{v}] must be a non-negative integer"))
                     })
                     .collect::<Result<Vec<usize>, String>>()?;
-                Self::with_membership(&addrs, membership)
+                Self::with_membership(&addrs, membership)?.with_backend(&backend)
             }
             Some(JsonValue::Str(kind)) => Err(format!(
                 "unknown placement {kind:?} (expected \"round-robin\" or \"membership\")"
@@ -206,6 +236,7 @@ impl ClusterManifest {
     pub fn to_json(&self) -> JsonValue {
         let mut fields = vec![
             ("format", JsonValue::from(MANIFEST_FORMAT)),
+            ("backend", JsonValue::from(self.backend.as_str())),
             (
                 "placement",
                 JsonValue::from(match self.placement {
@@ -267,13 +298,44 @@ mod tests {
     #[test]
     fn round_robin_manifest_round_trips() {
         let m = ClusterManifest::round_robin(&addrs(3)).unwrap();
+        assert_eq!(m.backend, "embed");
         let text = m.to_json().render();
         assert!(text.contains("\"format\":\"viralcast-cluster-manifest/v1\""));
+        assert!(text.contains("\"backend\":\"embed\""));
         assert!(text.contains("\"placement\":\"round-robin\""));
         let back = ClusterManifest::parse(&text).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.shard_count(), 3);
         assert_eq!(back.addr_of(2).port(), 7003);
+    }
+
+    #[test]
+    fn backend_round_trips_and_defaults_to_embed() {
+        let m = ClusterManifest::round_robin(&addrs(2))
+            .unwrap()
+            .with_backend("netinf")
+            .unwrap();
+        let text = m.to_json().render();
+        assert!(text.contains("\"backend\":\"netinf\""), "{text}");
+        assert_eq!(ClusterManifest::parse(&text).unwrap(), m);
+
+        // Pre-backend manifests (no key) still parse, as embed.
+        let legacy = r#"{
+            "format": "viralcast-cluster-manifest/v1",
+            "placement": "round-robin",
+            "shards": [{"id": 0, "addr": "127.0.0.1:7001"}]
+        }"#;
+        assert_eq!(ClusterManifest::parse(legacy).unwrap().backend, "embed");
+
+        // Unregistered backends are refused at construction and parse.
+        let err = ClusterManifest::round_robin(&addrs(2))
+            .unwrap()
+            .with_backend("dirichlet")
+            .unwrap_err();
+        assert!(err.contains("unknown backend \"dirichlet\""), "{err}");
+        let bad = legacy.replace("\"placement\"", "\"backend\": \"bogus\", \"placement\"");
+        let err = ClusterManifest::parse(&bad).unwrap_err();
+        assert!(err.contains("unknown backend \"bogus\""), "{err}");
     }
 
     #[test]

@@ -30,14 +30,15 @@ fn model() -> Embeddings {
 }
 
 fn start_daemon(shard: Option<serve::RowBlock>) -> serve::ServerHandle {
-    let retrain: serve::RetrainFn = Box::new(|current, _| Ok(current.clone()));
+    let retrain: serve::RetrainFn = Box::new(|current, _| Ok(std::sync::Arc::clone(current)));
     let config = serve::ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shard,
         ..serve::ServeConfig::default()
     };
-    serve::start(model(), retrain, config).expect("daemon boots")
+    let backend = viralcast_cluster::serve::model::EmbeddingBackend::new(model());
+    serve::start(std::sync::Arc::new(backend), retrain, config).expect("daemon boots")
 }
 
 fn start_cluster_router(addrs: &[SocketAddr]) -> RouterHandle {

@@ -1,0 +1,334 @@
+//! Head-to-head backend benchmark: `viralcast bench-backends`.
+//!
+//! Fits every registered [`CascadeModel`] backend — the paper's
+//! embeddings and the NETINF greedy baseline — on the *same* synthetic
+//! SBM corpus, then scores each on the same held-out split so
+//! `BENCH_backends.json` answers the two questions a backend choice
+//! hinges on: how well does it rank the next adopter, and what does one
+//! candidate scan cost?
+//!
+//! * **fit_seconds** — wall-clock training time on the train split.
+//! * **hit_at_top** — held-out next-adopter accuracy: for each test
+//!   cascade with at least two infections, observe only the seed and ask
+//!   the backend for its top-k next adopters; a hit means the cascade's
+//!   actual second adopter is among them. This is the serving question
+//!   (`/v1/predict`) asked of ground truth the model never saw.
+//! * **ns_per_rate_op** — mean cost of one candidate-row evaluation
+//!   inside [`CascadeModel::rank_candidates`], the serving hot path,
+//!   measured over repeated full scans with a folded checksum so the
+//!   work cannot be dead-code-eliminated.
+//!
+//! Everything is deterministic given `--seed`: same corpus, same
+//! evaluation order, same scan sources for every backend.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use viralcast_graph::SbmConfig;
+use viralcast_model::{CascadeModel, EmbeddingBackend, NetInfBackend, NetInfConfig};
+use viralcast_obs::JsonValue;
+use viralcast_propagation::CascadeSet;
+
+use crate::experiment::{SbmExperiment, SbmExperimentConfig};
+use crate::pipeline::{infer_embeddings, InferOptions};
+
+/// One bench run's knobs.
+#[derive(Clone, Debug)]
+pub struct BackendsBenchConfig {
+    /// Synthetic SBM graph size.
+    pub nodes: usize,
+    /// Cascades to simulate (train ∥ test split at 2/3).
+    pub cascades: usize,
+    /// Topic count for the embedding fit.
+    pub topics: usize,
+    /// Top-k cut for the next-adopter accuracy metric.
+    pub top: usize,
+    /// Full candidate scans to time per backend.
+    pub scan_iterations: usize,
+    /// Seed for the corpus and the scan sources.
+    pub seed: u64,
+}
+
+impl Default for BackendsBenchConfig {
+    fn default() -> BackendsBenchConfig {
+        BackendsBenchConfig {
+            nodes: 200,
+            cascades: 300,
+            topics: 4,
+            top: 10,
+            scan_iterations: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// One backend's scorecard.
+#[derive(Clone, Debug)]
+pub struct BackendReport {
+    /// The backend id (`"embed"`, `"netinf"`).
+    pub backend: &'static str,
+    /// Wall-clock fit time on the train split, seconds.
+    pub fit_seconds: f64,
+    /// Held-out cascades evaluated (those with ≥ 2 infections).
+    pub evaluated: usize,
+    /// Evaluated cascades whose true second adopter ranked in the top-k.
+    pub hits: usize,
+    /// `hits / evaluated` (0 when nothing was evaluable).
+    pub hit_at_top: f64,
+    /// Mean cost of one candidate-row evaluation, nanoseconds.
+    pub ns_per_rate_op: f64,
+    /// Folded sum of every timed scan's scores (anti-DCE; also a cheap
+    /// cross-machine determinism probe for a given seed).
+    pub checksum: f64,
+}
+
+impl BackendReport {
+    /// The scorecard as one JSON object for the report's `backends`
+    /// array.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("backend", JsonValue::from(self.backend)),
+            ("fit_seconds", JsonValue::from(self.fit_seconds)),
+            ("evaluated", JsonValue::from(self.evaluated)),
+            ("hits", JsonValue::from(self.hits)),
+            ("hit_at_top", JsonValue::from(self.hit_at_top)),
+            ("ns_per_rate_op", JsonValue::from(self.ns_per_rate_op)),
+            ("checksum", JsonValue::from(self.checksum)),
+        ])
+    }
+}
+
+/// What the bench measured, across all backends.
+#[derive(Clone, Debug)]
+pub struct BackendsBenchSummary {
+    /// Nodes in the synthetic universe.
+    pub nodes: usize,
+    /// Train-split cascades every backend fit on.
+    pub train_cascades: usize,
+    /// Test-split cascades the accuracy metric drew from.
+    pub test_cascades: usize,
+    /// The top-k cut used for `hit_at_top`.
+    pub top: usize,
+    /// One scorecard per backend, in registry order.
+    pub backends: Vec<BackendReport>,
+}
+
+impl BackendsBenchSummary {
+    /// The summary as run-report attributes (the `BENCH_backends.json`
+    /// payload beyond the standard report envelope).
+    pub fn attrs(&self) -> Vec<(String, JsonValue)> {
+        vec![
+            ("nodes".into(), self.nodes.into()),
+            ("train_cascades".into(), self.train_cascades.into()),
+            ("test_cascades".into(), self.test_cascades.into()),
+            ("top".into(), self.top.into()),
+            (
+                "backends".into(),
+                JsonValue::Arr(self.backends.iter().map(BackendReport::to_json).collect()),
+            ),
+        ]
+    }
+}
+
+/// Runs the benchmark: one corpus, every backend.
+pub fn run(config: &BackendsBenchConfig) -> Result<BackendsBenchSummary, String> {
+    if config.nodes == 0
+        || config.cascades == 0
+        || config.topics == 0
+        || config.top == 0
+        || config.scan_iterations == 0
+    {
+        return Err(
+            "--nodes, --cascades, --topics, --top and --scan-iterations must all be positive"
+                .into(),
+        );
+    }
+    let community_size = (config.nodes / 10).max(2);
+    let experiment = SbmExperiment::build(
+        &SbmExperimentConfig {
+            sbm: SbmConfig {
+                nodes: config.nodes,
+                community_size,
+                intra_prob: 0.3,
+                inter_prob: 0.002,
+            },
+            cascades: config.cascades,
+            ..SbmExperimentConfig::default()
+        },
+        config.seed,
+    );
+    let train = experiment.train();
+    let test = experiment.test();
+
+    // Fit both backends on the identical train split, timed.
+    let mut backends: Vec<BackendReport> = Vec::with_capacity(2);
+    let fit_embed = || -> Arc<dyn CascadeModel> {
+        let outcome = infer_embeddings(
+            train,
+            &InferOptions {
+                topics: config.topics,
+                ..InferOptions::default()
+            },
+        );
+        Arc::new(EmbeddingBackend::new(outcome.embeddings))
+    };
+    let fit_netinf = || -> Arc<dyn CascadeModel> {
+        Arc::new(NetInfBackend::fit(train, NetInfConfig::default()))
+    };
+    type Fit<'a> = Box<dyn Fn() -> Arc<dyn CascadeModel> + 'a>;
+    let fits: Vec<(&'static str, Fit)> = vec![
+        (EmbeddingBackend::ID, Box::new(fit_embed)),
+        (NetInfBackend::ID, Box::new(fit_netinf)),
+    ];
+    for (id, fit) in fits {
+        let started = Instant::now();
+        let model = fit();
+        let fit_seconds = started.elapsed().as_secs_f64();
+        debug_assert_eq!(model.backend_id(), id);
+        let (evaluated, hits) = next_adopter_hits(model.as_ref(), test, config.top);
+        let (ns_per_rate_op, checksum) = time_scans(model.as_ref(), config.scan_iterations);
+        backends.push(BackendReport {
+            backend: id,
+            fit_seconds,
+            evaluated,
+            hits,
+            hit_at_top: if evaluated == 0 {
+                0.0
+            } else {
+                hits as f64 / evaluated as f64
+            },
+            ns_per_rate_op,
+            checksum,
+        });
+    }
+
+    Ok(BackendsBenchSummary {
+        nodes: config.nodes,
+        train_cascades: train.len(),
+        test_cascades: test.len(),
+        top: config.top,
+        backends,
+    })
+}
+
+/// Held-out next-adopter accuracy: observe only the seed of each test
+/// cascade with ≥ 2 infections, and count a hit when the true second
+/// adopter appears in the backend's top-k ranking.
+fn next_adopter_hits(model: &dyn CascadeModel, test: &CascadeSet, top: usize) -> (usize, usize) {
+    let mut evaluated = 0usize;
+    let mut hits = 0usize;
+    for cascade in test.cascades() {
+        let infections = cascade.infections();
+        if infections.len() < 2 {
+            continue;
+        }
+        let seed = infections[0].node;
+        let truth = infections[1].node;
+        evaluated += 1;
+        let ranked = model.rank_candidates(&[seed], top, None);
+        if ranked.iter().any(|&(v, _)| v == truth) {
+            hits += 1;
+        }
+    }
+    (evaluated, hits)
+}
+
+/// Times repeated full candidate scans (`rank_candidates` over every
+/// row) and reports the mean nanoseconds per candidate-row evaluation.
+fn time_scans(model: &dyn CascadeModel, iterations: usize) -> (f64, f64) {
+    let n = model.node_count();
+    // Warm the caches once, untimed; fold every scan into the checksum.
+    let seed = viralcast_graph::NodeId::new(0);
+    let mut checksum: f64 = model
+        .rank_candidates(&[seed], n, None)
+        .iter()
+        .map(|&(_, s)| s)
+        .sum();
+    let started = Instant::now();
+    for i in 0..iterations {
+        let source = viralcast_graph::NodeId::new(i % n);
+        checksum += model
+            .rank_candidates(&[source], n, None)
+            .iter()
+            .map(|&(_, s)| s)
+            .sum::<f64>();
+    }
+    let total_rate_ops = (iterations * n) as u64;
+    (
+        started.elapsed().as_nanos() as f64 / total_rate_ops as f64,
+        checksum,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BackendsBenchConfig {
+        BackendsBenchConfig {
+            nodes: 60,
+            cascades: 40,
+            topics: 2,
+            top: 5,
+            scan_iterations: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn both_backends_are_benched_on_the_same_corpus() {
+        let summary = run(&tiny()).unwrap();
+        assert_eq!(summary.backends.len(), 2);
+        assert_eq!(summary.backends[0].backend, "embed");
+        assert_eq!(summary.backends[1].backend, "netinf");
+        assert_eq!(summary.train_cascades + summary.test_cascades, 40);
+        for report in &summary.backends {
+            assert!(report.fit_seconds >= 0.0);
+            assert!(report.ns_per_rate_op > 0.0);
+            assert!(report.hits <= report.evaluated);
+            assert!((0.0..=1.0).contains(&report.hit_at_top));
+        }
+    }
+
+    #[test]
+    fn accuracy_scans_are_deterministic() {
+        let a = run(&tiny()).unwrap();
+        let b = run(&tiny()).unwrap();
+        for (x, y) in a.backends.iter().zip(&b.backends) {
+            assert_eq!(x.evaluated, y.evaluated);
+            assert_eq!(x.hits, y.hits);
+            assert_eq!(x.checksum, y.checksum);
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        for broken in [
+            BackendsBenchConfig { nodes: 0, ..tiny() },
+            BackendsBenchConfig { top: 0, ..tiny() },
+            BackendsBenchConfig {
+                scan_iterations: 0,
+                ..tiny()
+            },
+        ] {
+            assert!(run(&broken).is_err());
+        }
+    }
+
+    #[test]
+    fn attrs_cover_the_bench_schema() {
+        let summary = run(&tiny()).unwrap();
+        let json = JsonValue::Obj(summary.attrs()).render();
+        for needle in [
+            "\"nodes\":60",
+            "\"backends\":[",
+            "\"backend\":\"embed\"",
+            "\"backend\":\"netinf\"",
+            "\"fit_seconds\":",
+            "\"hit_at_top\":",
+            "\"ns_per_rate_op\":",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

@@ -112,6 +112,7 @@ fn run() -> Result<(), CliError> {
             "router" => router_cmd(&flags)?,
             "loadgen" => loadgen_cmd(&flags)?,
             "bench-hotpath" => bench_hotpath_cmd(&flags)?,
+            "bench-backends" => bench_backends_cmd(&flags)?,
             "chaos" => chaos_cmd(&flags)?,
             _ => unreachable!("validated by command_flags"),
         }
@@ -140,14 +141,15 @@ USAGE:
   viralcast infer          --corpus FILE --out FILE [--topics K] [--seed S] [--threads T]
   viralcast predict        --corpus FILE --embeddings FILE [--window W] [--early F] [--top P]
   viralcast influencers    --embeddings FILE [--top K]
-  viralcast serve          --embeddings FILE [--addr HOST:PORT] [--workers N]
+  viralcast serve          --embeddings FILE | --backend netinf --corpus FILE
+                           [--backend embed|netinf] [--addr HOST:PORT] [--workers N]
                            [--retrain-interval SECS] [--min-retrain-batch N]
                            [--ingest-capacity N] [--data-dir DIR]
                            [--fsync always|interval[:MS]|rotate]
                            [--segment-bytes N] [--access-log FILE]
                            [--shard I/N --cluster-manifest FILE]
   viralcast cluster-plan   --out FILE --shards HOST:PORT,HOST:PORT,…
-                           [--corpus FILE] [--topics K]
+                           [--corpus FILE] [--topics K] [--backend embed|netinf]
   viralcast router         --cluster-manifest FILE [--addr HOST:PORT]
                            [--workers N] [--fanout-workers N]
                            [--probe-interval SECS] [--shard-timeout SECS]
@@ -156,7 +158,10 @@ USAGE:
                            [--scenario flash-crowd] [--seed S] [--out FILE]
   viralcast bench-hotpath  [--nodes N] [--topics K] [--iterations I]
                            [--seed S] [--out FILE]
+  viralcast bench-backends [--nodes N] [--cascades C] [--topics K] [--top K]
+                           [--scan-iterations I] [--seed S] [--out FILE]
   viralcast chaos          --embeddings FILE --data-dir DIR [--workers N]
+                           [--backend embed|netinf] [--corpus FILE]
                            [--cycles C] [--steady SECS] [--cluster N]
                            [--recovery-timeout SECS] [--seed S] [--out FILE]
 
@@ -180,6 +185,13 @@ SERVE:
   request (schema viralcast-access-log/v1): method, path, status,
   snapshot_version, latency_us and trace_id.
 
+  --backend picks the inference backend behind the endpoints (default
+  embed, the paper's embeddings; --embeddings FILE required). --backend
+  netinf fits the NETINF greedy edge-inference baseline at boot from
+  --corpus FILE instead. The backend id is recorded in checkpoints and
+  reported by /healthz and /metrics; restarting a durable daemon with a
+  different --backend than its checkpoint fails fast.
+
 CLUSTER:
   cluster-plan writes a shard manifest (schema
   viralcast-cluster-manifest/v1) assigning every embedding row to one of
@@ -187,7 +199,11 @@ CLUSTER:
   --corpus is given (each shard then owns whole SLPA communities, so
   scatter answers cluster by community). Each shard is an ordinary serve
   daemon started with --shard I/N --cluster-manifest FILE: it loads the
-  full model but scans only its own candidate rows.
+  full model but scans only its own candidate rows. The manifest records
+  one backend id for the whole cluster (--backend on cluster-plan,
+  default embed); a shard or router started against a manifest whose
+  backend disagrees with its own refuses to boot, so mixed-backend
+  clusters cannot form.
 
   router terminates client HTTP in front of the shards named by the
   manifest: POST /v1/ingest forwards to the shard owning the cascade's
@@ -224,6 +240,15 @@ BENCH-HOTPATH:
   synthetic --nodes × --topics model (default 2000×8) for --iterations
   scans (default 400); --out FILE (default BENCH_hotpath.json) gets the
   report, including a determinism checksum.
+
+BENCH-BACKENDS:
+  Fits every registered backend (embed, netinf) on the same synthetic
+  SBM corpus (--nodes × --cascades, default 200×300, split 2/3 train)
+  and scores each on the same held-out split: fit_seconds, hit_at_top
+  (next-adopter accuracy at --top, default 10) and ns_per_rate_op
+  (candidate-scan cost over --scan-iterations full scans, default 50).
+  --out FILE (default BENCH_backends.json) gets one scorecard per
+  backend. Deterministic given --seed.
 
 CHAOS:
   Spawns a durable serve child over --data-dir (must be empty), drives
@@ -294,6 +319,8 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
         "influencers" => &[("embeddings", true), ("top", true)],
         "serve" => &[
             ("embeddings", true),
+            ("backend", true),
+            ("corpus", true),
             ("addr", true),
             ("workers", true),
             ("retrain-interval", true),
@@ -311,6 +338,7 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("shards", true),
             ("corpus", true),
             ("topics", true),
+            ("backend", true),
         ],
         "router" => &[
             ("cluster-manifest", true),
@@ -337,8 +365,19 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("seed", true),
             ("out", true),
         ],
+        "bench-backends" => &[
+            ("nodes", true),
+            ("cascades", true),
+            ("topics", true),
+            ("top", true),
+            ("scan-iterations", true),
+            ("seed", true),
+            ("out", true),
+        ],
         "chaos" => &[
             ("embeddings", true),
+            ("backend", true),
+            ("corpus", true),
             ("data-dir", true),
             ("workers", true),
             ("cluster", true),
@@ -585,9 +624,16 @@ fn influencers_cmd(flags: &Flags) -> Result<Attrs, CliError> {
 }
 
 fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::model::{CascadeModel, EmbeddingBackend, NetInfBackend, NetInfConfig, BACKENDS};
     use viralcast::serve;
 
-    let emb_path = flags.require_path("embeddings")?;
+    let backend = flags.get("backend").map_or(EmbeddingBackend::ID, |b| b);
+    if !BACKENDS.contains(&backend) {
+        return Err(usage_err(format!(
+            "unknown --backend {backend:?} (known backends: {})",
+            BACKENDS.join(", ")
+        )));
+    }
     let shard_index = match flags.get("shard") {
         None => None,
         Some(raw) => {
@@ -613,6 +659,13 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let cluster = match (manifest_path, shard_index) {
         (Some(path), Some((i, n))) => {
             let manifest = viralcast::cluster::ClusterManifest::load(&path).map_err(runtime_err)?;
+            if manifest.backend != backend {
+                return Err(runtime_err(format!(
+                    "the cluster manifest plans a {:?} cluster but this shard \
+                     was started with --backend {backend:?}",
+                    manifest.backend
+                )));
+            }
             if manifest.shard_count() != n {
                 return Err(runtime_err(format!(
                     "--shard {i}/{n} disagrees with the manifest's {} shard(s)",
@@ -656,24 +709,48 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         ));
     }
 
-    let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
-    let (nodes, topics) = (embeddings.node_count(), embeddings.topic_count());
+    // Boot model: embed loads a trained embedding file; netinf fits its
+    // sparse greedy graph from a cascade corpus right here at boot.
+    let model: std::sync::Arc<dyn CascadeModel> = match backend {
+        EmbeddingBackend::ID => {
+            if flags.has("corpus") {
+                return Err(usage_err(
+                    "--corpus is only meaningful with --backend netinf \
+                     (the embed backend loads --embeddings)",
+                ));
+            }
+            let emb_path = flags.require_path("embeddings")?;
+            let embeddings = Embeddings::load_json(&emb_path).map_err(runtime_err)?;
+            std::sync::Arc::new(EmbeddingBackend::new(embeddings))
+        }
+        NetInfBackend::ID => {
+            if flags.has("embeddings") {
+                return Err(usage_err(
+                    "--embeddings is only meaningful with --backend embed \
+                     (the netinf backend fits from --corpus)",
+                ));
+            }
+            let corpus_path = flags.opt_path("corpus").ok_or_else(|| {
+                usage_err("--backend netinf needs --corpus FILE (cascades to fit at boot)")
+            })?;
+            let corpus = load_corpus(&corpus_path).map_err(runtime_err)?;
+            let fitted = {
+                let _span = Span::enter("netinf_fit");
+                NetInfBackend::fit(&corpus, NetInfConfig::default())
+            };
+            std::sync::Arc::new(fitted)
+        }
+        _ => unreachable!("validated against BACKENDS above"),
+    };
+    let (nodes, topics) = (model.node_count(), model.topic_count());
     let shard_block = match &cluster {
         Some((manifest, i, _)) => Some(manifest.row_block(*i, nodes).map_err(runtime_err)?),
         None => None,
     };
 
-    // The daemon's trainer calls back into the pipeline's incremental
-    // update; the topic count is pinned to the loaded model's.
-    let retrain: serve::RetrainFn = Box::new(move |current, fresh| {
-        let options = InferOptions {
-            topics,
-            ..InferOptions::default()
-        };
-        update_embeddings(current, fresh, &options)
-            .map(|outcome| outcome.embeddings)
-            .map_err(|e| e.to_string())
-    });
+    // The daemon's trainer folds fresh cascades back in through the
+    // backend's own incremental update.
+    let retrain: serve::RetrainFn = Box::new(|current, fresh| current.update(fresh));
 
     let config = serve::ServeConfig {
         addr,
@@ -692,9 +769,12 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         shard: shard_block.clone(),
         ..serve::ServeConfig::default()
     };
-    let handle = serve::start(embeddings, retrain, config).map_err(runtime_err)?;
+    let handle = serve::start(model, retrain, config).map_err(runtime_err)?;
     let bound = handle.local_addr();
-    println!("viralcast-serve listening on http://{bound} ({nodes} nodes × {topics} topics)");
+    println!(
+        "viralcast-serve listening on http://{bound} \
+         ({backend} backend, {nodes} nodes × {topics} topics)"
+    );
     if let (Some((_, i, n)), Some(block)) = (&cluster, &shard_block) {
         println!(
             "cluster shard {i}/{n}: scanning {} of {nodes} candidate rows",
@@ -735,6 +815,7 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     println!("stopped at snapshot v{final_version}");
     let mut attrs: Attrs = vec![
         ("addr".into(), bound.to_string().into()),
+        ("backend".into(), backend.into()),
         ("nodes".into(), nodes.into()),
         ("topics".into(), topics.into()),
         ("final_snapshot_version".into(), final_version.into()),
@@ -768,6 +849,9 @@ fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         })
         .collect::<Result<Vec<_>, _>>()?;
 
+    let backend = flags
+        .get("backend")
+        .map_or(viralcast::model::EmbeddingBackend::ID, |b| b);
     let manifest = match flags.opt_path("corpus") {
         Some(corpus_path) => {
             let topics = flags.usize("topics", 8)?;
@@ -791,6 +875,9 @@ fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         }
         None => cluster::ClusterManifest::round_robin(&addrs).map_err(runtime_err)?,
     };
+    let manifest = manifest
+        .with_backend(backend)
+        .map_err(|e| usage_err(format!("--backend: {e}")))?;
     manifest.save(&out).map_err(runtime_err)?;
 
     let placement = match &manifest.placement {
@@ -798,8 +885,9 @@ fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         cluster::Placement::Membership(_) => "community-aligned",
     };
     println!(
-        "wrote {placement} manifest for {} shard(s) to {}",
+        "wrote {placement} manifest for {} {} shard(s) to {}",
         manifest.shard_count(),
+        manifest.backend,
         out.display()
     );
     for i in 0..manifest.shard_count() {
@@ -808,6 +896,7 @@ fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     Ok(vec![
         ("shards".into(), manifest.shard_count().into()),
         ("placement".into(), placement.into()),
+        ("backend".into(), manifest.backend.clone().into()),
     ])
 }
 
@@ -999,6 +1088,48 @@ fn bench_hotpath_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     Ok(attrs)
 }
 
+fn bench_backends_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::backends;
+
+    let defaults = backends::BackendsBenchConfig::default();
+    let config = backends::BackendsBenchConfig {
+        nodes: flags.usize("nodes", defaults.nodes)?,
+        cascades: flags.usize("cascades", defaults.cascades)?,
+        topics: flags.usize("topics", defaults.topics)?,
+        top: flags.usize("top", defaults.top)?,
+        scan_iterations: flags.usize("scan-iterations", defaults.scan_iterations)?,
+        seed: flags.u64("seed", defaults.seed)?,
+    };
+    let out = flags
+        .opt_path("out")
+        .unwrap_or_else(|| PathBuf::from("BENCH_backends.json"));
+    println!(
+        "fitting every backend on {} nodes × {} cascades, \
+         scoring next-adopter hit@{}…",
+        config.nodes, config.cascades, config.top
+    );
+    let summary = {
+        let _span = Span::enter("bench_backends");
+        backends::run(&config).map_err(usage_err)?
+    };
+    for report in &summary.backends {
+        println!(
+            "{:>7}: fit {:.3}s, hit@{} {:.3} ({}/{}), {:.1} ns per rate op",
+            report.backend,
+            report.fit_seconds,
+            summary.top,
+            report.hit_at_top,
+            report.hits,
+            report.evaluated,
+            report.ns_per_rate_op
+        );
+    }
+    let attrs: Attrs = summary.attrs();
+    save_bench_report("bench-backends", &attrs, &out)?;
+    println!("bench report written to {}", out.display());
+    Ok(attrs)
+}
+
 fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     use viralcast::chaos;
 
@@ -1027,8 +1158,40 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     if cluster_shards > 16 {
         return Err(usage_err("--cluster supports at most 16 shards"));
     }
+    let backend = flags
+        .get("backend")
+        .map_or(viralcast::model::EmbeddingBackend::ID, |b| b);
+    if !viralcast::model::BACKENDS.contains(&backend) {
+        return Err(usage_err(format!(
+            "unknown --backend {backend:?} (known backends: {})",
+            viralcast::model::BACKENDS.join(", ")
+        )));
+    }
+    let corpus = flags.opt_path("corpus");
+    let embeddings = if backend == viralcast::model::NetInfBackend::ID {
+        if flags.has("embeddings") {
+            return Err(usage_err(
+                "--embeddings is only meaningful with --backend embed \
+                 (the netinf backend fits from --corpus)",
+            ));
+        }
+        if corpus.is_none() {
+            return Err(usage_err(
+                "--backend netinf needs --corpus FILE for the child daemons to fit at boot",
+            ));
+        }
+        PathBuf::new()
+    } else {
+        if corpus.is_some() {
+            return Err(usage_err(
+                "--corpus is only meaningful with --backend netinf \
+                 (the embed backend loads --embeddings)",
+            ));
+        }
+        flags.require_path("embeddings")?
+    };
     let config = chaos::ChaosConfig {
-        embeddings: flags.require_path("embeddings")?,
+        embeddings,
         data_dir: flags.require_path("data-dir")?,
         workers: flags.usize("workers", defaults.workers)?,
         cycles: cycles.min(10_000) as u32,
@@ -1036,6 +1199,8 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         recovery_timeout: std::time::Duration::from_secs_f64(recovery_timeout),
         seed: flags.u64("seed", defaults.seed)?,
         cluster_shards,
+        backend: backend.to_string(),
+        corpus,
     };
     let out = flags
         .opt_path("out")

@@ -55,8 +55,12 @@ use viralcast_store::{EventStore, WalOptions};
 /// One chaos run's knobs.
 #[derive(Clone, Debug)]
 pub struct ChaosConfig {
-    /// Embeddings file the child daemon serves.
+    /// Embeddings file the child daemon serves (embed backend only).
     pub embeddings: PathBuf,
+    /// Backend id the child daemons boot with (`"embed"` or `"netinf"`).
+    pub backend: String,
+    /// Cascade corpus the netinf backend fits at boot (netinf only).
+    pub corpus: Option<PathBuf>,
     /// Durable data directory for the child; must be empty or absent so
     /// the final replay verifies exactly this run's traffic.
     pub data_dir: PathBuf,
@@ -82,6 +86,8 @@ impl Default for ChaosConfig {
     fn default() -> ChaosConfig {
         ChaosConfig {
             embeddings: PathBuf::new(),
+            backend: "embed".to_string(),
+            corpus: None,
             data_dir: PathBuf::new(),
             workers: 4,
             cycles: 3,
@@ -439,7 +445,7 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
             .map(|l| l.local_addr().expect("bound listener has an address"))
             .collect()
     };
-    let manifest = ClusterManifest::round_robin(&addrs)?;
+    let manifest = ClusterManifest::round_robin(&addrs)?.with_backend(&config.backend)?;
     let manifest_path = config.data_dir.join("cluster-manifest.json");
     manifest.save(&manifest_path)?;
 
@@ -782,10 +788,16 @@ fn spawn_serve(
 ) -> Result<(Child, SocketAddr), String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     let mut cmd = Command::new(exe);
-    cmd.arg("serve")
-        .arg("--embeddings")
-        .arg(&config.embeddings)
-        .arg("--data-dir")
+    cmd.arg("serve").arg("--backend").arg(&config.backend);
+    match (&config.backend, &config.corpus) {
+        (b, Some(corpus)) if b == "netinf" => {
+            cmd.arg("--corpus").arg(corpus);
+        }
+        _ => {
+            cmd.arg("--embeddings").arg(&config.embeddings);
+        }
+    }
+    cmd.arg("--data-dir")
         .arg(data_dir)
         .arg("--addr")
         .arg(addr)

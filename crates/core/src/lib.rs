@@ -22,6 +22,10 @@
 //!   `viralcast loadgen` and `viralcast bench-hotpath`: closed-loop HTTP
 //!   load against a live daemon, and a microbenchmark of the hazard
 //!   candidate scan. Both write machine-readable `BENCH_*.json` reports.
+//! * [`backends`] — the `viralcast bench-backends` head-to-head: every
+//!   registered `CascadeModel` backend fit on the same synthetic corpus,
+//!   scored on held-out next-adopter accuracy and candidate-scan cost
+//!   (`BENCH_backends.json`).
 //! * [`chaos`] — the kill-loop resilience harness behind
 //!   `viralcast chaos`: repeated SIGKILL/restart of a child daemon under
 //!   load, with a final on-disk replay asserting zero acked-event loss
@@ -55,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod chaos;
 pub mod experiment;
 pub mod hotpath;
@@ -76,6 +81,7 @@ pub use viralcast_community as community;
 pub use viralcast_embed as embed;
 pub use viralcast_gdelt as gdelt;
 pub use viralcast_graph as graph;
+pub use viralcast_model as model;
 pub use viralcast_obs as obs;
 pub use viralcast_predict as predict;
 pub use viralcast_propagation as propagation;

@@ -15,6 +15,9 @@ pub use viralcast_gdelt::{GdeltConfig, GdeltWorld, Mention, MentionTable, NewsSi
 pub use viralcast_graph::{
     BackboneGraph, CooccurrenceGraph, DiGraph, GraphBuilder, NodeId, SbmConfig,
 };
+pub use viralcast_model::{
+    CascadeModel, EmbeddingBackend, NetInfBackend, NetInfConfig, RowBlock, BACKENDS,
+};
 pub use viralcast_obs::{MetricsRegistry, Recorder, RunReport, Span, StageTimings};
 pub use viralcast_predict::pipeline::{extract_dataset, Dataset};
 pub use viralcast_predict::{

@@ -1,0 +1,326 @@
+//! The default backend: the paper's K-topic hazard-product embeddings.
+//!
+//! [`EmbeddingBackend`] wraps a fitted [`Embeddings`] matrix pair and
+//! implements [`CascadeModel`] exactly the way the serving layer used
+//! to evaluate the concrete type — same candidate filters, same
+//! summation order, same comparator — so the refactor is byte-identical
+//! on the wire (a serve integration test holds that line).
+//!
+//! Updates re-run the incremental pipeline: SLPA communities on the
+//! fresh batch's co-occurrence graph, then warm-started hierarchical
+//! projected gradient ascent over the new cascades only. The topic
+//! count is pinned by the wrapped embeddings; [`UpdateOptions`] mirrors
+//! the facade pipeline's defaults (including the L1 shrinkage) so a
+//! daemon retrains the same way `viralcast infer` fits.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use viralcast_community::Slpa;
+use viralcast_embed::hierarchical::infer_warm;
+use viralcast_embed::{Embeddings, HierarchicalConfig};
+use viralcast_graph::cooccurrence::{CooccurrenceGraph, CooccurrenceOptions};
+use viralcast_graph::NodeId;
+use viralcast_propagation::CascadeSet;
+
+use crate::{sort_and_truncate, CascadeModel, RowBlock};
+
+/// How [`EmbeddingBackend::update`] refits on a fresh batch. Mirrors
+/// the facade pipeline's `InferOptions::default()` minus the topic
+/// count, which is pinned by the wrapped embeddings.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateOptions {
+    /// SLPA settings for community detection on the fresh batch.
+    pub slpa: viralcast_community::SlpaConfig,
+    /// Hierarchical optimiser settings (its `topics` field is
+    /// overwritten by the embeddings' topic count).
+    pub hierarchical: HierarchicalConfig,
+    /// Drop co-occurrence edges below this weight before community
+    /// detection.
+    pub min_cooccurrence_weight: f64,
+}
+
+impl Default for UpdateOptions {
+    fn default() -> Self {
+        let mut hierarchical = HierarchicalConfig::default();
+        // Same departure as the facade pipeline: modest L1 shrinkage so
+        // signal-free components decay instead of freezing at init.
+        hierarchical.pgd.l1_penalty = 5.0;
+        UpdateOptions {
+            slpa: viralcast_community::SlpaConfig::default(),
+            hierarchical,
+            min_cooccurrence_weight: 0.05,
+        }
+    }
+}
+
+/// The paper's embedding model behind the [`CascadeModel`] trait.
+#[derive(Clone, Debug)]
+pub struct EmbeddingBackend {
+    embeddings: Embeddings,
+    options: UpdateOptions,
+}
+
+impl EmbeddingBackend {
+    /// The backend id recorded in manifests.
+    pub const ID: &'static str = "embed";
+
+    /// Wraps fitted embeddings with the default update options.
+    pub fn new(embeddings: Embeddings) -> EmbeddingBackend {
+        Self::with_options(embeddings, UpdateOptions::default())
+    }
+
+    /// Wraps fitted embeddings with explicit update options.
+    pub fn with_options(embeddings: Embeddings, options: UpdateOptions) -> EmbeddingBackend {
+        EmbeddingBackend {
+            embeddings,
+            options,
+        }
+    }
+
+    /// The wrapped embeddings.
+    pub fn embeddings(&self) -> &Embeddings {
+        &self.embeddings
+    }
+
+    /// Decodes the checkpoint payload written by `encode`: the legacy
+    /// embeddings layout `[u32 LE n][u32 LE k]` followed by `n·k`
+    /// influence and `n·k` selectivity entries as `u64 LE` f64 bits.
+    /// Checkpoints written before the backend split decode unchanged —
+    /// their manifests carry no backend key and default to `"embed"`.
+    /// Update options are not persisted; decoded backends retrain with
+    /// [`UpdateOptions::default`].
+    ///
+    /// # Errors
+    /// A description of the shape or length violation.
+    pub fn decode(payload: &[u8]) -> Result<EmbeddingBackend, String> {
+        if payload.len() < 8 {
+            return Err("checkpoint payload shorter than its shape header".into());
+        }
+        let n = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        let k = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+        let body = &payload[8..];
+        let cells = n
+            .checked_mul(k)
+            .filter(|&c| body.len() == 16 * c)
+            .ok_or_else(|| format!("shape {n}x{k} disagrees with {} body bytes", body.len()))?;
+        let read = |entries: &[u8]| -> Vec<f64> {
+            entries
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect()
+        };
+        Ok(EmbeddingBackend::new(Embeddings::from_matrices(
+            n,
+            k,
+            read(&body[..8 * cells]),
+            read(&body[8 * cells..]),
+        )))
+    }
+}
+
+impl CascadeModel for EmbeddingBackend {
+    fn backend_id(&self) -> &'static str {
+        Self::ID
+    }
+
+    fn node_count(&self) -> usize {
+        self.embeddings.node_count()
+    }
+
+    fn topic_count(&self) -> usize {
+        self.embeddings.topic_count()
+    }
+
+    fn hazard(&self, u: NodeId, v: NodeId) -> f64 {
+        self.embeddings.rate(u, v)
+    }
+
+    fn rank_candidates(
+        &self,
+        infected: &[NodeId],
+        top: usize,
+        owned: Option<&RowBlock>,
+    ) -> Vec<(NodeId, f64)> {
+        let emb = &self.embeddings;
+        let scored: Vec<(NodeId, f64)> = (0..emb.node_count())
+            .map(NodeId::new)
+            .filter(|v| owned.map_or(true, |block| block.contains(*v)))
+            .filter(|v| infected.binary_search(v).is_err())
+            .map(|v| {
+                let rate: f64 = infected.iter().map(|&u| emb.rate(u, v)).sum();
+                (v, rate)
+            })
+            .collect();
+        sort_and_truncate(scored, top)
+    }
+
+    fn influencers(
+        &self,
+        topic: Option<usize>,
+        top: usize,
+        owned: Option<&RowBlock>,
+    ) -> Result<Vec<(NodeId, f64)>, String> {
+        let emb = &self.embeddings;
+        if let Some(t) = topic {
+            if t >= emb.topic_count() {
+                return Err(format!(
+                    "topic {t} out of range (model has {} topics)",
+                    emb.topic_count()
+                ));
+            }
+        }
+        let scored: Vec<(NodeId, f64)> = (0..emb.node_count())
+            .map(NodeId::new)
+            .filter(|u| owned.map_or(true, |block| block.contains(*u)))
+            .map(|u| {
+                let row = emb.influence(u);
+                let score = match topic {
+                    Some(t) => row[t],
+                    None => row.iter().map(|x| x * x).sum::<f64>().sqrt(),
+                };
+                (u, score)
+            })
+            .collect();
+        Ok(sort_and_truncate(scored, top))
+    }
+
+    fn update(&self, fresh: &CascadeSet) -> Result<Arc<dyn CascadeModel>, String> {
+        let emb = &self.embeddings;
+        if emb.node_count() != fresh.node_count() {
+            return Err(format!(
+                "embedding rows ({}) and corpus universe ({}) differ",
+                emb.node_count(),
+                fresh.node_count()
+            ));
+        }
+        for cascade in fresh.cascades() {
+            for infection in cascade.infections() {
+                if infection.node.index() >= fresh.node_count() {
+                    return Err(format!(
+                        "cascade infects node {}, outside the declared universe of {} nodes",
+                        infection.node.0,
+                        fresh.node_count()
+                    ));
+                }
+            }
+        }
+        let cooc = CooccurrenceGraph::build(
+            fresh.node_count(),
+            &fresh.node_sequences(),
+            CooccurrenceOptions {
+                successor_window: None,
+                min_weight: self.options.min_cooccurrence_weight,
+            },
+        );
+        let partition = Slpa::new(self.options.slpa)
+            .run(&cooc.undirected())
+            .partition;
+        let config = HierarchicalConfig {
+            topics: emb.topic_count(),
+            ..self.options.hierarchical
+        };
+        let (updated, _report) = infer_warm(fresh, &partition, &config, emb);
+        Ok(Arc::new(EmbeddingBackend::with_options(
+            updated,
+            self.options,
+        )))
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let n = self.embeddings.node_count();
+        let k = self.embeddings.topic_count();
+        let mut payload = Vec::with_capacity(8 + 16 * n * k);
+        payload.extend_from_slice(&(n as u32).to_le_bytes());
+        payload.extend_from_slice(&(k as u32).to_le_bytes());
+        for &x in self.embeddings.influence_matrix() {
+            payload.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        for &x in self.embeddings.selectivity_matrix() {
+            payload.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        payload
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> EmbeddingBackend {
+        // Same fixture as the serve api tests: 3 nodes × 2 topics,
+        // rate(0,1) = 2, node 2 all-zero.
+        EmbeddingBackend::new(Embeddings::from_matrices(
+            3,
+            2,
+            vec![1.0, 2.0, 0.5, 0.5, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        ))
+    }
+
+    #[test]
+    fn hazard_matches_the_wrapped_rate() {
+        let b = backend();
+        assert_eq!(b.hazard(NodeId(0), NodeId(1)), 2.0);
+        assert_eq!(b.hazard(NodeId(0), NodeId(2)), 0.0);
+        assert_eq!(b.backend_id(), "embed");
+        assert_eq!(b.node_count(), 3);
+        assert_eq!(b.topic_count(), 2);
+    }
+
+    #[test]
+    fn rank_candidates_excludes_the_infected_set() {
+        let b = backend();
+        let ranked = b.rank_candidates(&[NodeId(0)], 5, None);
+        assert_eq!(ranked, vec![(NodeId(1), 2.0), (NodeId(2), 0.0)]);
+    }
+
+    #[test]
+    fn influencers_score_norms_and_topics() {
+        let b = backend();
+        let global = b.influencers(None, 3, None).unwrap();
+        assert_eq!(global[0].0, NodeId(0));
+        assert!((global[0].1 - 5.0f64.sqrt()).abs() < 1e-12);
+        let topic = b.influencers(Some(1), 1, None).unwrap();
+        assert_eq!(topic, vec![(NodeId(0), 2.0)]);
+        let err = b.influencers(Some(9), 1, None).unwrap_err();
+        assert_eq!(err, "topic 9 out of range (model has 2 topics)");
+    }
+
+    #[test]
+    fn encode_decode_is_bit_exact() {
+        let b = backend();
+        let back = EmbeddingBackend::decode(&b.encode()).unwrap();
+        assert_eq!(
+            back.embeddings().influence_matrix(),
+            b.embeddings().influence_matrix()
+        );
+        assert_eq!(
+            back.embeddings().selectivity_matrix(),
+            b.embeddings().selectivity_matrix()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(EmbeddingBackend::decode(&[0u8; 4]).is_err());
+        let mut lied = Vec::new();
+        lied.extend_from_slice(&9u32.to_le_bytes());
+        lied.extend_from_slice(&1u32.to_le_bytes());
+        lied.extend_from_slice(&[0u8; 16]);
+        assert!(EmbeddingBackend::decode(&lied)
+            .unwrap_err()
+            .contains("disagrees"));
+    }
+
+    #[test]
+    fn update_rejects_a_foreign_universe() {
+        let b = backend();
+        let err = b.update(&CascadeSet::new(5, Vec::new())).unwrap_err();
+        assert_eq!(err, "embedding rows (3) and corpus universe (5) differ");
+    }
+}

@@ -1,0 +1,193 @@
+//! Trait-conformance suite: every registered backend must honour the
+//! contracts the serving stack leans on — non-negative finite hazards,
+//! deterministic rankings under the shared (score desc, node asc)
+//! comparator, shard rankings that tile the full ranking, and a
+//! checkpoint codec that round-trips through the registry.
+
+use std::sync::Arc;
+use viralcast_graph::NodeId;
+use viralcast_model::{
+    decode_model, CascadeModel, EmbeddingBackend, NetInfBackend, NetInfConfig, RowBlock, BACKENDS,
+};
+use viralcast_propagation::{Cascade, CascadeSet, Infection};
+
+const NODES: usize = 6;
+
+fn corpus() -> CascadeSet {
+    let chain = |nodes: &[u32], step: f64| {
+        Cascade::new(
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| Infection::new(n, i as f64 * step))
+                .collect(),
+        )
+        .unwrap()
+    };
+    CascadeSet::new(
+        NODES,
+        vec![
+            chain(&[0, 1, 2], 0.4),
+            chain(&[0, 1, 3], 0.5),
+            chain(&[1, 2, 4], 0.3),
+            chain(&[0, 1, 2, 4], 0.6),
+            chain(&[5, 4], 0.2),
+        ],
+    )
+}
+
+/// One fitted instance of every registered backend, id-tagged.
+fn backends() -> Vec<Arc<dyn CascadeModel>> {
+    let emb = viralcast_embed::Embeddings::from_matrices(
+        NODES,
+        2,
+        vec![1.0, 2.0, 0.5, 0.5, 0.3, 0.0, 0.0, 0.0, 0.7, 0.1, 0.2, 0.9],
+        vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5, 0.2, 0.8, 1.0, 1.0, 0.0, 0.3],
+    );
+    let models: Vec<Arc<dyn CascadeModel>> = vec![
+        Arc::new(EmbeddingBackend::new(emb)),
+        Arc::new(NetInfBackend::fit(&corpus(), NetInfConfig::default())),
+    ];
+    assert_eq!(models.len(), BACKENDS.len(), "untested registered backend");
+    for (model, &id) in models.iter().zip(BACKENDS) {
+        assert_eq!(model.backend_id(), id, "registry order drifted");
+    }
+    models
+}
+
+#[test]
+fn hazards_are_finite_and_non_negative() {
+    for model in backends() {
+        for u in 0..NODES {
+            for v in 0..NODES {
+                let h = model.hazard(NodeId::new(u), NodeId::new(v));
+                assert!(
+                    h.is_finite() && h >= 0.0,
+                    "{}: hazard({u},{v}) = {h}",
+                    model.backend_id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rankings_are_deterministic_and_follow_the_shared_comparator() {
+    let infected = [NodeId(0), NodeId(1)];
+    for model in backends() {
+        let id = model.backend_id();
+        let a = model.rank_candidates(&infected, NODES, None);
+        let b = model.rank_candidates(&infected, NODES, None);
+        assert_eq!(a, b, "{id}: rank_candidates not deterministic");
+        assert_eq!(a.len(), NODES - infected.len(), "{id}: wrong universe");
+        for pair in a.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "{id}: comparator violated at {pair:?}"
+            );
+        }
+        for (v, _) in &a {
+            assert!(
+                infected.binary_search(v).is_err(),
+                "{id}: infected node {v} ranked as candidate"
+            );
+        }
+        // Truncation keeps the prefix.
+        assert_eq!(model.rank_candidates(&infected, 2, None), a[..2].to_vec());
+    }
+}
+
+#[test]
+fn influencer_rankings_are_deterministic_and_reject_bad_topics() {
+    for model in backends() {
+        let id = model.backend_id();
+        let a = model.influencers(None, NODES, None).unwrap();
+        let b = model.influencers(None, NODES, None).unwrap();
+        assert_eq!(a, b, "{id}: influencers not deterministic");
+        assert_eq!(a.len(), NODES, "{id}: wrong universe");
+        for pair in a.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "{id}: comparator violated at {pair:?}"
+            );
+        }
+        let err = model
+            .influencers(Some(model.topic_count()), NODES, None)
+            .unwrap_err();
+        assert!(
+            err.contains("out of range"),
+            "{id}: unexpected topic error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn shard_rankings_tile_the_full_ranking() {
+    let infected = [NodeId(0)];
+    for model in backends() {
+        let id = model.backend_id();
+        let full = model.rank_candidates(&infected, NODES, None);
+        let mut merged: Vec<(NodeId, f64)> = Vec::new();
+        for shard in 0..3 {
+            let block = RowBlock::round_robin(NODES, shard, 3).unwrap();
+            let part = model.rank_candidates(&infected, NODES, Some(&block));
+            for entry in &part {
+                assert!(
+                    full.contains(entry),
+                    "{id}: shard {shard} produced {entry:?} absent from the full ranking"
+                );
+                assert!(block.contains(entry.0), "{id}: unowned row {entry:?}");
+            }
+            merged.extend(part);
+        }
+        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        assert_eq!(merged, full, "{id}: merged shard rankings diverge");
+    }
+}
+
+#[test]
+fn checkpoint_payloads_round_trip_through_the_registry() {
+    for model in backends() {
+        let id = model.backend_id();
+        let back = decode_model(id, &model.encode()).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(back.backend_id(), id);
+        assert_eq!(back.node_count(), model.node_count(), "{id}");
+        assert_eq!(back.topic_count(), model.topic_count(), "{id}");
+        for u in 0..NODES {
+            for v in 0..NODES {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                assert_eq!(
+                    model.hazard(u, v).to_bits(),
+                    back.hazard(u, v).to_bits(),
+                    "{id}: hazard({u},{v}) drifted across the codec"
+                );
+            }
+        }
+        // Decoding under the wrong id must fail, not mis-decode.
+        let other = BACKENDS.iter().find(|&&b| b != id).unwrap();
+        assert!(
+            decode_model(other, &model.encode()).is_err(),
+            "{id} payload decoded as {other}"
+        );
+    }
+}
+
+#[test]
+fn updates_return_a_fresh_model_of_the_same_backend() {
+    let fresh = CascadeSet::new(
+        NODES,
+        vec![Cascade::new(vec![Infection::new(0u32, 0.0), Infection::new(2u32, 0.3)]).unwrap()],
+    );
+    for model in backends() {
+        let id = model.backend_id();
+        let updated = model.update(&fresh).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(updated.backend_id(), id);
+        assert_eq!(updated.node_count(), NODES, "{id}");
+        assert!(
+            model
+                .update(&CascadeSet::new(NODES + 1, Vec::new()))
+                .is_err(),
+            "{id}: accepted a foreign universe"
+        );
+    }
+}

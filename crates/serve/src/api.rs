@@ -6,8 +6,8 @@
 //! clients detect hot swaps (and the integration tests assert on).
 
 use crate::json;
-use viralcast_embed::Embeddings;
 use viralcast_graph::NodeId;
+use viralcast_model::CascadeModel;
 use viralcast_obs::JsonValue;
 use viralcast_propagation::{Cascade, Infection};
 
@@ -52,14 +52,15 @@ pub fn parse_hazard(body: &JsonValue) -> Result<HazardRequest, String> {
 
 /// Evaluates a hazard request against one snapshot.
 pub fn hazard_json(snap: &ModelSnapshot, req: &HazardRequest) -> Result<JsonValue, String> {
-    let emb = &snap.embeddings;
+    let model = snap.model.as_ref();
     let mut results = Vec::with_capacity(req.pairs.len());
     for &(u, v) in &req.pairs {
-        check_node(u, emb)?;
-        check_node(v, emb)?;
-        // Constant hazard ⟨A_u, B_v⟩ (eq. 6) ⇒ exponential delay, so
-        // S(Δt) = e^{−rate·Δt}; computed directly to allow rate = 0.
-        let rate = emb.rate(u, v);
+        check_node(u, model)?;
+        check_node(v, model)?;
+        // Constant hazard (eq. 6 for the embed backend) ⇒ exponential
+        // delay, so S(Δt) = e^{−rate·Δt}; computed directly to allow
+        // rate = 0.
+        let rate = model.hazard(u, v);
         let mut fields = vec![
             ("source", JsonValue::from(u.0 as u64)),
             ("target", JsonValue::from(v.0 as u64)),
@@ -107,7 +108,7 @@ pub fn parse_predict(body: &JsonValue) -> Result<PredictRequest, String> {
 /// Ranks the next adopters of a partial cascade.
 ///
 /// With constant hazards, the instantaneous rate at which an uninfected
-/// node `v` gets infected is the sum of `⟨A_u, B_v⟩` over the already
+/// node `v` gets infected is the sum of `hazard(u, v)` over the already
 /// infected `u` — the exact quantity the simulator races on — so ranking
 /// by that sum orders candidates by imminence.
 ///
@@ -121,24 +122,14 @@ pub fn predict_json(
     req: &PredictRequest,
     owned: Option<&RowBlock>,
 ) -> Result<JsonValue, String> {
-    let emb = &snap.embeddings;
+    let model = snap.model.as_ref();
     for inf in &req.infections {
-        check_node(inf.node, emb)?;
+        check_node(inf.node, model)?;
     }
     let mut infected: Vec<NodeId> = req.infections.iter().map(|i| i.node).collect();
     infected.sort_unstable();
     infected.dedup();
-    let mut scored: Vec<(NodeId, f64)> = (0..emb.node_count())
-        .map(NodeId::new)
-        .filter(|v| owned.map_or(true, |block| block.contains(*v)))
-        .filter(|v| infected.binary_search(v).is_err())
-        .map(|v| {
-            let rate: f64 = infected.iter().map(|&u| emb.rate(u, v)).sum();
-            (v, rate)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    scored.truncate(req.top);
+    let scored = model.rank_candidates(&infected, req.top, owned);
     let candidates = scored
         .into_iter()
         .map(|(v, rate)| {
@@ -213,39 +204,17 @@ fn parse_one_cascade(list: &JsonValue, node_count: usize) -> Result<Cascade, Str
 
 /// `GET /v1/influencers` → top-k ranking, globally or per topic.
 ///
-/// Scores match `viralcast::influencers`: Euclidean norm of `A_u`
-/// globally, single component per topic — recomputed here so the serving
-/// layer stays independent of the facade crate. `owned` restricts the
-/// ranking to a shard's rows, as in [`predict_json`].
+/// Scores are the backend's influencer metric (for the embed backend:
+/// Euclidean norm of `A_u` globally, single component per topic,
+/// matching `viralcast::influencers`). `owned` restricts the ranking to
+/// a shard's rows, as in [`predict_json`].
 pub fn influencers_json(
     snap: &ModelSnapshot,
     topic: Option<usize>,
     top: usize,
     owned: Option<&RowBlock>,
 ) -> Result<JsonValue, String> {
-    let emb = &snap.embeddings;
-    if let Some(t) = topic {
-        if t >= emb.topic_count() {
-            return Err(format!(
-                "topic {t} out of range (model has {} topics)",
-                emb.topic_count()
-            ));
-        }
-    }
-    let mut scored: Vec<(NodeId, f64)> = (0..emb.node_count())
-        .map(NodeId::new)
-        .filter(|u| owned.map_or(true, |block| block.contains(*u)))
-        .map(|u| {
-            let row = emb.influence(u);
-            let score = match topic {
-                Some(t) => row[t],
-                None => row.iter().map(|x| x * x).sum::<f64>().sqrt(),
-            };
-            (u, score)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    scored.truncate(top);
+    let scored = snap.model.influencers(topic, top, owned)?;
     let influencers = scored
         .into_iter()
         .map(|(u, score)| {
@@ -281,11 +250,11 @@ fn parse_infection(value: &JsonValue) -> Result<Infection, String> {
     Ok(Infection { node, time })
 }
 
-fn check_node(u: NodeId, emb: &Embeddings) -> Result<(), String> {
-    if u.index() >= emb.node_count() {
+fn check_node(u: NodeId, model: &dyn CascadeModel) -> Result<(), String> {
+    if u.index() >= model.node_count() {
         return Err(format!(
             "node {u} outside the model universe (node_count {})",
-            emb.node_count()
+            model.node_count()
         ));
     }
     Ok(())
@@ -300,12 +269,14 @@ mod tests {
         // 3 nodes × 2 topics. rate(0,1) = 1*0 + 2*1 = 2; node 2 all-zero.
         ModelSnapshot {
             version: 7,
-            embeddings: Embeddings::from_matrices(
-                3,
-                2,
-                vec![1.0, 2.0, 0.5, 0.5, 0.0, 0.0],
-                vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
-            ),
+            model: std::sync::Arc::new(viralcast_model::EmbeddingBackend::new(
+                viralcast_embed::Embeddings::from_matrices(
+                    3,
+                    2,
+                    vec![1.0, 2.0, 0.5, 0.5, 0.0, 0.0],
+                    vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+                ),
+            )),
             published_unix: 0,
         }
     }

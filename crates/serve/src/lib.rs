@@ -4,7 +4,9 @@
 //! a versioned, atomically hot-swappable model snapshot in memory and
 //! answers hazard, next-adopter, and influencer queries from it while a
 //! background trainer folds freshly ingested cascades back into the
-//! embeddings.
+//! model. The snapshot holds an `Arc<dyn viralcast_model::CascadeModel>`
+//! — any registered backend (the paper's embeddings, the NETINF greedy
+//! baseline, …) serves through the same endpoints.
 //!
 //! Layering, bottom to top:
 //!
@@ -13,7 +15,8 @@
 //! - [`http`] — bounded request parsing and response framing;
 //! - [`snapshot`] — the `Arc`-swapped [`snapshot::ModelSnapshot`] store;
 //! - [`shard`] — [`shard::RowBlock`] candidate-row ownership, the unit a
-//!   cluster places on each daemon;
+//!   cluster places on each daemon (re-exported from `viralcast-model`,
+//!   where the trait's batched scans consume it);
 //! - [`ingest`] — the bounded cascade buffer behind `POST /v1/ingest`;
 //! - [`api`] — endpoint codecs and model evaluation, socket-free;
 //! - [`trace`] — request-scoped trace IDs (accepted or generated);
@@ -59,3 +62,10 @@ pub use trainer::{RetrainFn, TrainerConfig};
 /// configuring `--data-dir` serving reach [`store::FsyncPolicy`] and
 /// [`store::WalOptions`] without a separate dependency.
 pub use viralcast_store as store;
+
+/// The backend abstraction (`viralcast-model`), re-exported so callers
+/// constructing a daemon reach [`model::CascadeModel`],
+/// [`model::EmbeddingBackend`], and [`model::NetInfBackend`] without a
+/// separate dependency.
+pub use viralcast_model as model;
+pub use viralcast_model::{BackendMismatch, CascadeModel};

@@ -15,7 +15,7 @@ use std::sync::mpsc::{self, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use viralcast_embed::Embeddings;
+use viralcast_model::{BackendMismatch, CascadeModel};
 use viralcast_obs as obs;
 use viralcast_store::{EventStore, WalOptions};
 
@@ -171,19 +171,27 @@ impl ServerHandle {
 
 /// Binds the listener and spawns acceptor, workers, and trainer.
 ///
-/// `retrain` is invoked by the trainer with the current embeddings and a
-/// fresh cascade batch; pass `viralcast::update_embeddings` wrapped in a
-/// closure (see the `serve` subcommand) or any stand-in.
+/// `retrain` is invoked by the trainer with the current model and a
+/// fresh cascade batch; pass `CascadeModel::update` wrapped in a closure
+/// (see the `serve` subcommand) or any stand-in.
+///
+/// # Errors
+///
+/// Besides the usual bind/open failures, a durable boot fails fast with
+/// an `InvalidData` error wrapping [`BackendMismatch`] when the data
+/// directory's checkpoint was written by a different backend than the
+/// passed-in model — silently serving (or worse, retraining over) the
+/// wrong backend's state would corrupt the lineage.
 pub fn start(
-    embeddings: Embeddings,
+    model: Arc<dyn CascadeModel>,
     retrain: RetrainFn,
     config: ServeConfig,
 ) -> io::Result<ServerHandle> {
     // Recover the durable state first: if the data directory holds a
-    // checkpoint, it supersedes the passed-in embeddings (same lineage,
-    // same version), and every acked-but-untrained event in the WAL is
-    // fed back to the trainer before the listener accepts traffic.
-    let mut boot_embeddings = embeddings;
+    // checkpoint, it supersedes the passed-in model (same lineage, same
+    // version), and every acked-but-untrained event in the WAL is fed
+    // back to the trainer before the listener accepts traffic.
+    let mut boot_model = model;
     let mut boot_version = 1u64;
     let mut pending = Vec::new();
     let mut recovery_summary = None;
@@ -191,8 +199,17 @@ pub fn start(
         Some(dir) => {
             let (es, recovery) = EventStore::open(dir, config.wal)?;
             boot_version = recovery.snapshot_version();
-            if let Some(emb) = recovery.embeddings {
-                boot_embeddings = emb;
+            if let Some(recovered) = recovery.model {
+                if recovered.backend_id() != boot_model.backend_id() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        BackendMismatch {
+                            expected: boot_model.backend_id().to_string(),
+                            found: recovered.backend_id().to_string(),
+                        },
+                    ));
+                }
+                boot_model = recovered;
             }
             recovery_summary = Some(BootRecovery {
                 replayed: recovery.replayed,
@@ -225,7 +242,7 @@ pub fn start(
     let addr = listener.local_addr()?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
-    let snapshots = Arc::new(SnapshotStore::with_version(boot_embeddings, boot_version));
+    let snapshots = Arc::new(SnapshotStore::with_version(boot_model, boot_version));
     let ingest = Arc::new(IngestBuffer::new(config.ingest_capacity));
     if !pending.is_empty() {
         // Preload bypasses the capacity bound: these events were acked
@@ -445,12 +462,19 @@ mod tests {
         }
     }
 
-    fn embeddings() -> Embeddings {
-        Embeddings::from_matrices(3, 1, vec![1.0, 0.5, 0.0], vec![1.0, 1.0, 1.0])
+    fn embeddings() -> Arc<dyn CascadeModel> {
+        Arc::new(viralcast_model::EmbeddingBackend::new(
+            viralcast_embed::Embeddings::from_matrices(
+                3,
+                1,
+                vec![1.0, 0.5, 0.0],
+                vec![1.0, 1.0, 1.0],
+            ),
+        ))
     }
 
     fn identity_retrain() -> RetrainFn {
-        Box::new(|emb, _| Ok(emb.clone()))
+        Box::new(|model, _| Ok(Arc::clone(model)))
     }
 
     #[test]
@@ -579,6 +603,63 @@ mod tests {
         let handle = start(embeddings(), identity_retrain(), cfg).unwrap();
         assert_eq!(handle.recovery().map(|r| r.pending), Some(1));
         handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_boot_refuses_a_foreign_backend_checkpoint() {
+        let dir =
+            std::env::temp_dir().join(format!("viralcast-serve-backend-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = config();
+        cfg.data_dir = Some(dir.clone());
+        cfg.trainer.interval = Duration::from_millis(20);
+
+        // First life: an embed daemon publishes (and checkpoints) v2.
+        let handle = start(embeddings(), identity_retrain(), cfg.clone()).unwrap();
+        let resp = client::request(
+            &handle.local_addr(),
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":1.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let snapshots = handle.snapshots();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while snapshots.version() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(snapshots.version() >= 2, "trainer never published");
+        handle.shutdown();
+
+        // Second life: restarting over the same directory with a netinf
+        // model must fail fast with a typed BackendMismatch, not serve
+        // the wrong backend's checkpoint.
+        let corpus = viralcast_propagation::CascadeSet::new(
+            3,
+            vec![viralcast_propagation::Cascade::new(vec![
+                viralcast_propagation::Infection::new(0u32, 0.0),
+                viralcast_propagation::Infection::new(1u32, 1.0),
+            ])
+            .unwrap()],
+        );
+        let netinf =
+            viralcast_model::NetInfBackend::fit(&corpus, viralcast_model::NetInfConfig::default());
+        let err = match start(Arc::new(netinf), identity_retrain(), cfg) {
+            Err(e) => e,
+            Ok(handle) => {
+                handle.shutdown();
+                panic!("a netinf boot over an embed checkpoint must fail");
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mismatch = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<BackendMismatch>())
+            .expect("error carries a BackendMismatch");
+        assert_eq!(mismatch.expected, "netinf");
+        assert_eq!(mismatch.found, "embed");
         std::fs::remove_dir_all(&dir).ok();
     }
 

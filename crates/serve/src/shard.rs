@@ -1,155 +1,9 @@
 //! Row-block ownership for sharded serving.
 //!
-//! A cluster splits the embedding rows across N daemons: every shard
-//! loads the *full* embeddings (rates need every selectivity row) but
-//! answers `/v1/predict` and `/v1/influencers` only for the candidate
-//! rows it owns. Ownership is a [`RowBlock`]: a boolean mask over node
-//! ids, derived either round-robin or from an explicit shard-membership
-//! vector (community-aligned placement). Blocks produced for shards
-//! `0..total` from the same derivation are disjoint and cover every
-//! node, which is what makes the router's merged top-k exactly equal the
-//! single-box ranking.
+//! [`RowBlock`] moved into `viralcast-model` with the backend
+//! abstraction — ownership masks are part of the trait surface
+//! ([`viralcast_model::CascadeModel::rank_candidates`] scans an owned
+//! block) — and is re-exported here so serve-level callers keep their
+//! import path.
 
-use viralcast_graph::NodeId;
-
-/// The set of candidate rows one shard owns.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RowBlock {
-    shard: usize,
-    total: usize,
-    owned: Vec<bool>,
-    count: usize,
-}
-
-impl RowBlock {
-    /// Deterministic fallback placement: shard `i` of `total` owns every
-    /// node `v` with `v % total == i`.
-    ///
-    /// # Errors
-    /// `total` must be ≥ 1 and `shard < total`.
-    pub fn round_robin(node_count: usize, shard: usize, total: usize) -> Result<RowBlock, String> {
-        check_shape(shard, total)?;
-        let owned: Vec<bool> = (0..node_count).map(|v| v % total == shard).collect();
-        Ok(Self::from_mask(owned, shard, total))
-    }
-
-    /// Placement from an explicit membership vector: `membership[v]` is
-    /// the shard that owns node `v` (community-aligned placement bins
-    /// whole SLPA communities onto shards and hands the result here).
-    ///
-    /// # Errors
-    /// `total` must be ≥ 1, `shard < total`, and every membership value
-    /// must be a valid shard id.
-    pub fn from_membership(
-        membership: &[usize],
-        shard: usize,
-        total: usize,
-    ) -> Result<RowBlock, String> {
-        check_shape(shard, total)?;
-        if let Some((v, &m)) = membership.iter().enumerate().find(|(_, &m)| m >= total) {
-            return Err(format!(
-                "membership[{v}] = {m} is not a shard id (cluster has {total} shards)"
-            ));
-        }
-        let owned: Vec<bool> = membership.iter().map(|&m| m == shard).collect();
-        Ok(Self::from_mask(owned, shard, total))
-    }
-
-    fn from_mask(owned: Vec<bool>, shard: usize, total: usize) -> RowBlock {
-        let count = owned.iter().filter(|&&o| o).count();
-        RowBlock {
-            shard,
-            total,
-            owned,
-            count,
-        }
-    }
-
-    /// Whether this shard owns node `v` as a candidate row. Nodes beyond
-    /// the mask (a model grown past the manifest) are unowned — they are
-    /// served by nobody rather than by everybody, keeping shards
-    /// disjoint under drift.
-    #[inline]
-    pub fn contains(&self, v: NodeId) -> bool {
-        self.owned.get(v.index()).copied().unwrap_or(false)
-    }
-
-    /// This shard's index.
-    pub fn shard(&self) -> usize {
-        self.shard
-    }
-
-    /// Total shards in the cluster.
-    pub fn total(&self) -> usize {
-        self.total
-    }
-
-    /// Number of nodes this shard owns.
-    pub fn owned_count(&self) -> usize {
-        self.count
-    }
-
-    /// Length of the ownership mask (the node universe it was built for).
-    pub fn node_count(&self) -> usize {
-        self.owned.len()
-    }
-}
-
-fn check_shape(shard: usize, total: usize) -> Result<(), String> {
-    if total == 0 {
-        return Err("cluster must have at least one shard".into());
-    }
-    if shard >= total {
-        return Err(format!("shard index {shard} out of range (total {total})"));
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_robin_blocks_are_disjoint_and_cover() {
-        let total = 3;
-        let blocks: Vec<RowBlock> = (0..total)
-            .map(|s| RowBlock::round_robin(10, s, total).unwrap())
-            .collect();
-        for v in 0..10u32 {
-            let owners = blocks.iter().filter(|b| b.contains(NodeId(v))).count();
-            assert_eq!(owners, 1, "node {v} owned by {owners} shards");
-        }
-        assert_eq!(blocks.iter().map(RowBlock::owned_count).sum::<usize>(), 10);
-        assert!(blocks[0].contains(NodeId(0)));
-        assert!(blocks[1].contains(NodeId(1)));
-        assert!(blocks[0].contains(NodeId(9)));
-    }
-
-    #[test]
-    fn membership_blocks_follow_the_vector() {
-        let membership = [0, 0, 1, 2, 1];
-        let b1 = RowBlock::from_membership(&membership, 1, 3).unwrap();
-        assert_eq!(b1.owned_count(), 2);
-        assert!(b1.contains(NodeId(2)));
-        assert!(b1.contains(NodeId(4)));
-        assert!(!b1.contains(NodeId(0)));
-        assert_eq!(b1.shard(), 1);
-        assert_eq!(b1.total(), 3);
-    }
-
-    #[test]
-    fn shapes_are_validated() {
-        assert!(RowBlock::round_robin(5, 0, 0).is_err());
-        assert!(RowBlock::round_robin(5, 3, 3).is_err());
-        let err = RowBlock::from_membership(&[0, 7], 0, 2).unwrap_err();
-        assert!(err.contains("membership[1] = 7"), "{err}");
-    }
-
-    #[test]
-    fn nodes_past_the_mask_are_unowned() {
-        let b = RowBlock::round_robin(4, 0, 2).unwrap();
-        assert!(b.contains(NodeId(0)));
-        assert!(!b.contains(NodeId(4)));
-        assert!(!b.contains(NodeId(99)));
-    }
-}
+pub use viralcast_model::RowBlock;

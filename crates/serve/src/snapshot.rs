@@ -9,7 +9,7 @@
 
 use std::sync::{Arc, RwLock};
 use std::time::{SystemTime, UNIX_EPOCH};
-use viralcast_embed::Embeddings;
+use viralcast_model::CascadeModel;
 use viralcast_obs as obs;
 
 /// One immutable published model version.
@@ -17,8 +17,8 @@ use viralcast_obs as obs;
 pub struct ModelSnapshot {
     /// Monotone version, starting at 1 for the snapshot loaded at boot.
     pub version: u64,
-    /// The embeddings this version serves.
-    pub embeddings: Embeddings,
+    /// The model this version serves — any [`CascadeModel`] backend.
+    pub model: Arc<dyn CascadeModel>,
     /// Unix seconds at publication (0 if the clock is unavailable).
     pub published_unix: u64,
 }
@@ -43,21 +43,21 @@ fn set_version_gauge(version: u64) {
 }
 
 impl SnapshotStore {
-    /// A store whose first snapshot (version 1) wraps `embeddings`.
-    pub fn new(embeddings: Embeddings) -> Self {
-        Self::with_version(embeddings, 1)
+    /// A store whose first snapshot (version 1) wraps `model`.
+    pub fn new(model: Arc<dyn CascadeModel>) -> Self {
+        Self::with_version(model, 1)
     }
 
     /// A store whose first snapshot resumes a recovered lineage at
     /// `version` (clamped to ≥ 1) — used when booting from a durable
     /// checkpoint so versions stay monotone across restarts.
-    pub fn with_version(embeddings: Embeddings, version: u64) -> Self {
+    pub fn with_version(model: Arc<dyn CascadeModel>, version: u64) -> Self {
         let version = version.max(1);
         set_version_gauge(version);
         SnapshotStore {
             current: RwLock::new(Arc::new(ModelSnapshot {
                 version,
-                embeddings,
+                model,
                 published_unix: unix_now(),
             })),
         }
@@ -76,13 +76,13 @@ impl SnapshotStore {
             .version
     }
 
-    /// Publishes `embeddings` as the next version and returns it.
-    pub fn publish(&self, embeddings: Embeddings) -> u64 {
+    /// Publishes `model` as the next version and returns it.
+    pub fn publish(&self, model: Arc<dyn CascadeModel>) -> u64 {
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         let version = slot.version + 1;
         *slot = Arc::new(ModelSnapshot {
             version,
-            embeddings,
+            model,
             published_unix: unix_now(),
         });
         drop(slot);
@@ -95,9 +95,23 @@ impl SnapshotStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use viralcast_embed::Embeddings;
+    use viralcast_graph::NodeId;
+    use viralcast_model::EmbeddingBackend;
 
-    fn emb(seed: f64) -> Embeddings {
-        Embeddings::from_matrices(2, 1, vec![seed, seed], vec![seed, seed])
+    fn emb(seed: f64) -> Arc<dyn CascadeModel> {
+        Arc::new(EmbeddingBackend::new(Embeddings::from_matrices(
+            2,
+            1,
+            vec![seed, seed],
+            vec![seed, seed],
+        )))
+    }
+
+    /// `emb(seed)` has all-equal entries, so every pairwise hazard is
+    /// `seed²` — the probe the swap tests read through the trait.
+    fn probe(snap: &ModelSnapshot) -> f64 {
+        snap.model.hazard(NodeId(0), NodeId(1))
     }
 
     #[test]
@@ -124,14 +138,14 @@ mod tests {
         assert_eq!(store.version(), 2);
         // The old handle still sees the model it started with.
         assert_eq!(held.version, 1);
-        assert_eq!(held.embeddings.influence_matrix()[0], 0.5);
-        assert_eq!(store.current().embeddings.influence_matrix()[0], 0.7);
+        assert_eq!(probe(&held), 0.5 * 0.5);
+        assert_eq!(probe(&store.current()), 0.7 * 0.7);
     }
 
     #[test]
     fn concurrent_readers_never_see_a_torn_model() {
         // Each published model has all-equal entries; a "torn" read would
-        // surface as a mix of two versions' values.
+        // surface as a hazard inconsistent with the snapshot version.
         let store = Arc::new(SnapshotStore::new(emb(1.0)));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         std::thread::scope(|scope| {
@@ -141,9 +155,8 @@ mod tests {
                 scope.spawn(move || {
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                         let snap = store.current();
-                        let a = snap.embeddings.influence_matrix();
-                        assert_eq!(a[0], a[1], "torn snapshot at v{}", snap.version);
-                        assert_eq!(snap.version as f64, a[0]);
+                        let v = snap.version as f64;
+                        assert_eq!(probe(&snap), v * v, "torn snapshot at v{}", snap.version);
                     }
                 });
             }

@@ -2,29 +2,30 @@
 //!
 //! Every `interval`, the trainer drains the ingest buffer and — when the
 //! batch is big enough — hands the fresh cascades plus the *current*
-//! snapshot's embeddings to the injected retrain function (the CLI wires
-//! `viralcast::update_embeddings` here; tests inject stubs). A successful
-//! retrain publishes the next snapshot version; request threads keep
-//! serving the old `Arc` throughout, so readers never block on training.
+//! snapshot's model to the injected retrain function (the CLI wires the
+//! backend's [`CascadeModel::update`] here; tests inject stubs). A
+//! successful retrain publishes the next snapshot version; request
+//! threads keep serving the old `Arc` throughout, so readers never block
+//! on training.
 //!
 //! With a durable [`EventStore`] attached, the drain happens under the
 //! store lock so the WAL offset read alongside it provably covers
 //! exactly the drained-or-already-trained records (the ingest path
 //! appends to the WAL and pushes to the buffer under the same lock).
-//! After a successful publish the trainer checkpoints: the new
-//! embeddings land atomically next to a manifest recording the snapshot
-//! version and that offset, and fully covered WAL segments are
+//! After a successful publish the trainer checkpoints: the new model
+//! lands atomically next to a manifest recording the snapshot version,
+//! the backend id, and that offset, and fully covered WAL segments are
 //! compacted away.
 //!
-//! The retrain function is injected rather than imported to keep this
-//! crate independent of the `viralcast` facade (which depends on this
-//! crate's consumers).
+//! The retrain function is injected rather than imported so tests can
+//! stub it and the CLI can decorate the backend's update (validation,
+//! option overrides) without this crate knowing.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use viralcast_embed::Embeddings;
+use viralcast_model::CascadeModel;
 use viralcast_obs::{self as obs, warn, JsonValue};
 use viralcast_propagation::CascadeSet;
 use viralcast_store::EventStore;
@@ -32,9 +33,12 @@ use viralcast_store::EventStore;
 use crate::ingest::{DrainedBatch, IngestBuffer};
 use crate::snapshot::SnapshotStore;
 
-/// Warm-start retraining: `(current embeddings, fresh cascades) → new
-/// embeddings`. The cascade set's universe matches the embeddings' rows.
-pub type RetrainFn = Box<dyn Fn(&Embeddings, &CascadeSet) -> Result<Embeddings, String> + Send>;
+/// Warm-start retraining: `(current model, fresh cascades) → new model`.
+/// The cascade set's universe matches the model's node count. The
+/// default wiring is the backend's own [`CascadeModel::update`].
+pub type RetrainFn = Box<
+    dyn Fn(&Arc<dyn CascadeModel>, &CascadeSet) -> Result<Arc<dyn CascadeModel>, String> + Send,
+>;
 
 /// Trainer cadence knobs.
 #[derive(Clone, Copy, Debug)]
@@ -120,12 +124,12 @@ fn retrain_once(
     }
     let snap = store.current();
     let count = batch.cascades.len();
-    let fresh = CascadeSet::new(snap.embeddings.node_count(), batch.cascades);
+    let fresh = CascadeSet::new(snap.model.node_count(), batch.cascades);
     let started = Instant::now();
-    match retrain(&snap.embeddings, &fresh) {
-        Ok(embeddings) => {
+    match retrain(&snap.model, &fresh) {
+        Ok(model) => {
             let seconds = started.elapsed().as_secs_f64();
-            let version = store.publish(embeddings);
+            let version = store.publish(model);
             obs::metrics().counter("serve.retrain.runs").incr(1);
             obs::metrics()
                 .counter("serve.retrain.cascades")
@@ -147,7 +151,7 @@ fn retrain_once(
                 let mut guard = es.lock().unwrap_or_else(|e| e.into_inner());
                 // A failed checkpoint degrades durability (recovery
                 // replays from the previous one), not serving.
-                if let Err(e) = guard.checkpoint(version, offset, &published.embeddings) {
+                if let Err(e) = guard.checkpoint(version, offset, published.model.as_ref()) {
                     obs::metrics().counter("store.checkpoint.errors").incr(1);
                     warn(
                         "serve.retrain",
@@ -205,10 +209,30 @@ fn report_publish_lag(traces: &[crate::ingest::TraceMark], version: u64) {
 mod tests {
     use super::*;
     use crate::ingest::TraceMark;
+    use viralcast_embed::Embeddings;
+    use viralcast_model::EmbeddingBackend;
     use viralcast_propagation::{Cascade, Infection};
 
-    fn embeddings() -> Embeddings {
-        Embeddings::from_matrices(4, 1, vec![0.1; 4], vec![0.1; 4])
+    fn embeddings() -> Arc<dyn CascadeModel> {
+        Arc::new(EmbeddingBackend::new(Embeddings::from_matrices(
+            4,
+            1,
+            vec![0.1; 4],
+            vec![0.1; 4],
+        )))
+    }
+
+    /// The wrapped embeddings of a published embed-backend snapshot.
+    fn inner(model: &Arc<dyn CascadeModel>) -> &Embeddings {
+        model
+            .as_any()
+            .downcast_ref::<EmbeddingBackend>()
+            .expect("embed backend")
+            .embeddings()
+    }
+
+    fn identity() -> RetrainFn {
+        Box::new(|model, _| Ok(Arc::clone(model)))
     }
 
     fn cascade() -> Cascade {
@@ -227,16 +251,21 @@ mod tests {
         let store = SnapshotStore::new(embeddings());
         // A retrain that bumps every influence entry by 1 and records the
         // batch size it saw.
-        let retrain: RetrainFn = Box::new(|emb, fresh| {
+        let retrain: RetrainFn = Box::new(|model, fresh| {
             assert_eq!(fresh.node_count(), 4);
             assert_eq!(fresh.len(), 2);
+            let emb = model
+                .as_any()
+                .downcast_ref::<EmbeddingBackend>()
+                .expect("embed backend")
+                .embeddings();
             let a: Vec<f64> = emb.influence_matrix().iter().map(|x| x + 1.0).collect();
-            Ok(Embeddings::from_matrices(
+            Ok(Arc::new(EmbeddingBackend::new(Embeddings::from_matrices(
                 emb.node_count(),
                 emb.topic_count(),
                 a,
                 emb.selectivity_matrix().to_vec(),
-            ))
+            ))))
         });
         retrain_once(
             &store,
@@ -247,7 +276,7 @@ mod tests {
         );
         let snap = store.current();
         assert_eq!(snap.version, 2);
-        assert!((snap.embeddings.influence_matrix()[0] - 1.1).abs() < 1e-12);
+        assert!((inner(&snap.model).influence_matrix()[0] - 1.1).abs() < 1e-12);
     }
 
     #[test]
@@ -280,7 +309,7 @@ mod tests {
             .unwrap();
         let es = Mutex::new(es);
         let store = SnapshotStore::new(embeddings());
-        let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
+        let retrain: RetrainFn = identity();
         retrain_once(
             &store,
             Some(&es),
@@ -301,7 +330,7 @@ mod tests {
     #[test]
     fn publish_reports_per_trace_lag() {
         let store = SnapshotStore::new(embeddings());
-        let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
+        let retrain: RetrainFn = identity();
         let hist_before = obs::metrics()
             .histogram_exponential("serve.ingest_to_publish_ms", 1.0, 2.0, 16)
             .count();
@@ -338,7 +367,7 @@ mod tests {
         let store = Arc::new(SnapshotStore::new(embeddings()));
         let buffer = Arc::new(IngestBuffer::new(16));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let retrain: RetrainFn = Box::new(|emb, _| Ok(emb.clone()));
+        let retrain: RetrainFn = identity();
         let handle = spawn(
             Arc::clone(&store),
             Arc::clone(&buffer),

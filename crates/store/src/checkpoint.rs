@@ -3,14 +3,16 @@
 //!
 //! A checkpoint is two files in the data directory:
 //!
-//! * `checkpoint-<version>.bin` — the embeddings in the store's own
-//!   binary format (an 8-byte magic followed by one CRC-framed record:
-//!   `[u32 LE n][u32 LE k]`, then `n·k` influence and `n·k` selectivity
-//!   entries as `u64 LE` f64 bits), written atomically via
-//!   [`atomic_write`];
+//! * `checkpoint-<version>.bin` — the model in the store's own binary
+//!   format: an 8-byte magic followed by one CRC-framed record holding
+//!   the backend's own payload ([`CascadeModel::encode`]; for the
+//!   default embed backend that is `[u32 LE n][u32 LE k]`, then `n·k`
+//!   influence and `n·k` selectivity entries as `u64 LE` f64 bits),
+//!   written atomically via [`atomic_write`];
 //! * `manifest` — a tiny line-oriented text file naming the snapshot
-//!   version, the embeddings file, and `wal_offset`, the first WAL
-//!   record index **not** folded into this snapshot.
+//!   version, the model file, the backend that wrote it, and
+//!   `wal_offset`, the first WAL record index **not** folded into this
+//!   snapshot.
 //!
 //! The manifest is the commit point: it is written to a temp file,
 //! fsynced, and renamed over the old manifest, so recovery always sees
@@ -19,15 +21,17 @@
 //! and WAL segments below `wal_offset` eligible for compaction.
 //!
 //! Neither format is JSON: the store crate hand rolls its I/O (like obs
-//! and serve), the manifest is three `key=value` lines needing no parser
-//! worth depending on, and the embeddings file reuses the WAL's frame
-//! codec so a bit-flipped checkpoint is detected at load rather than
-//! silently served.
+//! and serve), the manifest is a few `key=value` lines needing no parser
+//! worth depending on, and the model file reuses the WAL's frame codec
+//! so a bit-flipped checkpoint is detected at load rather than silently
+//! served.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use viralcast_embed::Embeddings;
+use viralcast_model::{CascadeModel, EmbeddingBackend};
 
 use crate::codec::{frame, read_frame, FrameRead};
 
@@ -48,13 +52,17 @@ pub struct Manifest {
     pub wal_offset: u64,
     /// Embeddings file name (relative to the data directory).
     pub embeddings_file: String,
+    /// Backend that encoded the checkpoint payload (a
+    /// [`CascadeModel::backend_id`]). Manifests written before the
+    /// backend split carry no `backend` line and parse as `"embed"`.
+    pub backend: String,
 }
 
 impl Manifest {
     fn render(&self) -> String {
         format!(
-            "{MANIFEST_FORMAT}\nsnapshot_version={}\nwal_offset={}\nembeddings_file={}\n",
-            self.snapshot_version, self.wal_offset, self.embeddings_file
+            "{MANIFEST_FORMAT}\nsnapshot_version={}\nwal_offset={}\nembeddings_file={}\nbackend={}\n",
+            self.snapshot_version, self.wal_offset, self.embeddings_file, self.backend
         )
     }
 
@@ -68,6 +76,7 @@ impl Manifest {
         let mut version = None;
         let mut offset = None;
         let mut file = None;
+        let mut backend = None;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -87,6 +96,7 @@ impl Manifest {
                     offset = Some(value.parse().map_err(|_| format!("bad offset {value:?}"))?)
                 }
                 "embeddings_file" => file = Some(value.to_string()),
+                "backend" => backend = Some(value.to_string()),
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
@@ -94,6 +104,7 @@ impl Manifest {
             snapshot_version: version.ok_or("missing snapshot_version")?,
             wal_offset: offset.ok_or("missing wal_offset")?,
             embeddings_file: file.ok_or("missing embeddings_file")?,
+            backend: backend.unwrap_or_else(|| EmbeddingBackend::ID.to_string()),
         })
     }
 
@@ -161,66 +172,56 @@ pub fn checkpoint_file_name(version: u64) -> String {
     format!("checkpoint-{version}.bin")
 }
 
-/// First 8 bytes of every checkpoint embeddings file.
+/// First 8 bytes of every checkpoint model file.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"VCCKPT01";
 
-/// Serialises embeddings into the checkpoint file format: the magic
-/// followed by one CRC-framed record of shape + matrix entries.
-pub fn encode_embeddings(embeddings: &Embeddings) -> Vec<u8> {
-    let n = embeddings.node_count();
-    let k = embeddings.topic_count();
-    let mut payload = Vec::with_capacity(8 + 16 * n * k);
-    payload.extend_from_slice(&(n as u32).to_le_bytes());
-    payload.extend_from_slice(&(k as u32).to_le_bytes());
-    for &x in embeddings.influence_matrix() {
-        payload.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
-    for &x in embeddings.selectivity_matrix() {
-        payload.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
+/// Serialises a model into the checkpoint file format: the magic
+/// followed by one CRC-framed record of the backend's payload.
+pub fn encode_model(model: &dyn CascadeModel) -> Vec<u8> {
+    let payload = model.encode();
     let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + 8 + payload.len());
     out.extend_from_slice(CHECKPOINT_MAGIC);
     out.extend_from_slice(&frame(&payload));
     out
 }
 
-/// Decodes a checkpoint file previously written by [`encode_embeddings`].
-pub fn decode_embeddings(bytes: &[u8]) -> Result<Embeddings, String> {
+/// Unwraps the magic + CRC frame of a checkpoint file, returning the
+/// backend payload inside.
+fn unwrap_checkpoint(bytes: &[u8]) -> Result<Vec<u8>, String> {
     let rest = bytes
         .strip_prefix(CHECKPOINT_MAGIC.as_slice())
         .ok_or("missing checkpoint magic")?;
-    let payload = match read_frame(rest, 0) {
-        FrameRead::Complete { payload, consumed } if consumed == rest.len() => payload,
-        FrameRead::Complete { .. } => return Err("trailing bytes after the record".into()),
-        FrameRead::Torn => return Err("truncated checkpoint record".into()),
-        FrameRead::Corrupt => return Err("checkpoint record failed its CRC".into()),
-        FrameRead::End => return Err("empty checkpoint record".into()),
-    };
-    if payload.len() < 8 {
-        return Err("checkpoint payload shorter than its shape header".into());
+    match read_frame(rest, 0) {
+        FrameRead::Complete { payload, consumed } if consumed == rest.len() => Ok(payload.to_vec()),
+        FrameRead::Complete { .. } => Err("trailing bytes after the record".into()),
+        FrameRead::Torn => Err("truncated checkpoint record".into()),
+        FrameRead::Corrupt => Err("checkpoint record failed its CRC".into()),
+        FrameRead::End => Err("empty checkpoint record".into()),
     }
-    let n = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
-    let k = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
-    let body = &payload[8..];
-    let cells = n
-        .checked_mul(k)
-        .filter(|&c| body.len() == 16 * c)
-        .ok_or_else(|| format!("shape {n}x{k} disagrees with {} body bytes", body.len()))?;
-    let read = |entries: &[u8]| -> Vec<f64> {
-        entries
-            .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-            .collect()
-    };
-    Ok(Embeddings::from_matrices(
-        n,
-        k,
-        read(&body[..8 * cells]),
-        read(&body[8 * cells..]),
-    ))
 }
 
-/// Loads the checkpointed embeddings file at `path`.
+/// Decodes a checkpoint file through the backend registry, dispatching
+/// on the `backend` id the manifest recorded next to the file name.
+pub fn decode_checkpoint(bytes: &[u8], backend: &str) -> Result<Arc<dyn CascadeModel>, String> {
+    viralcast_model::decode_model(backend, &unwrap_checkpoint(bytes)?)
+}
+
+/// Serialises embeddings into the checkpoint file format — the embed
+/// backend's special case of [`encode_model`], kept for callers that
+/// hold a bare [`Embeddings`].
+pub fn encode_embeddings(embeddings: &Embeddings) -> Vec<u8> {
+    encode_model(&EmbeddingBackend::new(embeddings.clone()))
+}
+
+/// Decodes a checkpoint file previously written by [`encode_embeddings`]
+/// (or by [`encode_model`] on the embed backend).
+pub fn decode_embeddings(bytes: &[u8]) -> Result<Embeddings, String> {
+    EmbeddingBackend::decode(&unwrap_checkpoint(bytes)?).map(|b| b.embeddings().clone())
+}
+
+/// Loads the checkpointed embeddings file at `path` (embed backend
+/// only; see [`load_model_checkpoint`] for the registry-dispatched
+/// path).
 pub fn load_checkpoint(path: &Path) -> io::Result<Embeddings> {
     let bytes = fs::read(path)?;
     decode_embeddings(&bytes).map_err(|m| {
@@ -231,20 +232,33 @@ pub fn load_checkpoint(path: &Path) -> io::Result<Embeddings> {
     })
 }
 
-/// Persists a checkpoint: embeddings first, then the manifest commit
+/// Loads the checkpointed model file at `path`, decoding it with the
+/// backend the manifest named.
+pub fn load_model_checkpoint(path: &Path, backend: &str) -> io::Result<Arc<dyn CascadeModel>> {
+    let bytes = fs::read(path)?;
+    decode_checkpoint(&bytes, backend).map_err(|m| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid checkpoint {}: {m}", path.display()),
+        )
+    })
+}
+
+/// Persists a checkpoint: the model first, then the manifest commit
 /// point, then garbage-collects superseded `checkpoint-*` files.
 pub fn save_checkpoint(
     dir: &Path,
     version: u64,
     wal_offset: u64,
-    embeddings: &Embeddings,
+    model: &dyn CascadeModel,
 ) -> io::Result<Manifest> {
     let file_name = checkpoint_file_name(version);
-    atomic_write(&dir.join(&file_name), &encode_embeddings(embeddings))?;
+    atomic_write(&dir.join(&file_name), &encode_model(model))?;
     let manifest = Manifest {
         snapshot_version: version,
         wal_offset,
         embeddings_file: file_name.clone(),
+        backend: model.backend_id().to_string(),
     };
     manifest.save(dir)?;
     // Stale checkpoints are unreferenced once the manifest points at the
@@ -284,10 +298,22 @@ mod tests {
             snapshot_version: 7,
             wal_offset: 123,
             embeddings_file: "checkpoint-7.bin".into(),
+            backend: "netinf".into(),
         };
         m.save(&dir).unwrap();
         assert_eq!(Manifest::load(&dir).unwrap(), Some(m));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifests_without_a_backend_line_default_to_embed() {
+        // Written before the backend split: three key=value lines only.
+        let m = Manifest::parse(
+            "viralcast-manifest-v1\nsnapshot_version=3\nwal_offset=9\nembeddings_file=checkpoint-3.bin\n",
+        )
+        .unwrap();
+        assert_eq!(m.backend, "embed");
+        assert_eq!(m.snapshot_version, 3);
     }
 
     #[test]
@@ -307,15 +333,37 @@ mod tests {
     fn save_checkpoint_replaces_and_garbage_collects() {
         let dir = tmp_dir("gc");
         let emb = Embeddings::from_matrices(2, 1, vec![0.1, 0.2], vec![0.3, 0.4]);
-        save_checkpoint(&dir, 2, 10, &emb).unwrap();
-        save_checkpoint(&dir, 5, 40, &emb).unwrap();
+        let model = EmbeddingBackend::new(emb.clone());
+        save_checkpoint(&dir, 2, 10, &model).unwrap();
+        save_checkpoint(&dir, 5, 40, &model).unwrap();
         let manifest = Manifest::load(&dir).unwrap().unwrap();
         assert_eq!(manifest.snapshot_version, 5);
         assert_eq!(manifest.wal_offset, 40);
+        assert_eq!(manifest.backend, "embed");
         assert!(dir.join("checkpoint-5.bin").exists());
         assert!(!dir.join("checkpoint-2.bin").exists(), "stale kept");
         let back = load_checkpoint(&dir.join(&manifest.embeddings_file)).unwrap();
         assert!(emb.max_abs_diff(&back) < 1e-12);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_checkpoints_round_trip_any_backend() {
+        use viralcast_propagation::{Cascade, CascadeSet, Infection};
+        let dir = tmp_dir("netinf");
+        let corpus = CascadeSet::new(
+            3,
+            vec![Cascade::new(vec![Infection::new(0u32, 0.0), Infection::new(1u32, 0.4)]).unwrap()],
+        );
+        let model = viralcast_model::NetInfBackend::fit(&corpus, Default::default());
+        let manifest = save_checkpoint(&dir, 4, 7, &model).unwrap();
+        assert_eq!(manifest.backend, "netinf");
+        let back =
+            load_model_checkpoint(&dir.join(&manifest.embeddings_file), &manifest.backend).unwrap();
+        assert_eq!(back.backend_id(), "netinf");
+        assert_eq!(back.node_count(), 3);
+        // The embed-only loader refuses a netinf checkpoint payload.
+        assert!(load_checkpoint(&dir.join(&manifest.embeddings_file)).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

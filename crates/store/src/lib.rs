@@ -29,7 +29,8 @@ pub mod fault;
 pub mod wal;
 
 pub use checkpoint::{
-    atomic_write, decode_embeddings, encode_embeddings, load_checkpoint, save_checkpoint, Manifest,
+    atomic_write, decode_checkpoint, decode_embeddings, encode_embeddings, encode_model,
+    load_checkpoint, load_model_checkpoint, save_checkpoint, Manifest,
 };
 pub use codec::{CodecError, FrameRead};
 pub use fault::{FaultHandle, FaultKind, FaultPlan};
@@ -37,7 +38,8 @@ pub use wal::{BatchMark, FsyncPolicy, Replay, SequencedCascade, Wal, WalOptions}
 
 use std::io;
 use std::path::{Path, PathBuf};
-use viralcast_embed::Embeddings;
+use std::sync::Arc;
+pub use viralcast_model::{self as model, CascadeModel};
 use viralcast_obs as obs;
 use viralcast_propagation::Cascade;
 
@@ -46,8 +48,9 @@ use viralcast_propagation::Cascade;
 pub struct Recovery {
     /// The last committed checkpoint, if any.
     pub manifest: Option<Manifest>,
-    /// The checkpointed embeddings (present iff `manifest` is).
-    pub embeddings: Option<Embeddings>,
+    /// The checkpointed model (present iff `manifest` is), decoded by
+    /// the backend the manifest named.
+    pub model: Option<Arc<dyn CascadeModel>>,
     /// Replayed cascades **not** covered by the checkpoint, in log
     /// order: the acked-but-untrained tail the caller must feed back
     /// into its pipeline.
@@ -85,24 +88,25 @@ pub struct EventStore {
 
 impl EventStore {
     /// Opens (or creates) the store in `dir`: loads the manifest and its
-    /// checkpointed embeddings, replays every intact WAL record, and
-    /// truncates a torn final segment. A manifest that names a missing
-    /// or unreadable checkpoint file is an error — that is corruption,
-    /// not a cold start.
+    /// checkpointed model (decoded by the backend the manifest names),
+    /// replays every intact WAL record, and truncates a torn final
+    /// segment. A manifest that names a missing or unreadable checkpoint
+    /// file is an error — that is corruption, not a cold start.
     pub fn open(dir: &Path, options: WalOptions) -> io::Result<(EventStore, Recovery)> {
         std::fs::create_dir_all(dir)?;
         let manifest = Manifest::load(dir)?;
-        let embeddings = match &manifest {
+        let model = match &manifest {
             Some(m) => Some(
-                checkpoint::load_checkpoint(&dir.join(&m.embeddings_file)).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "manifest names checkpoint {} but it cannot be loaded: {e}",
-                            m.embeddings_file
-                        ),
-                    )
-                })?,
+                checkpoint::load_model_checkpoint(&dir.join(&m.embeddings_file), &m.backend)
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "manifest names checkpoint {} but it cannot be loaded: {e}",
+                                m.embeddings_file
+                            ),
+                        )
+                    })?,
             ),
             None => None,
         };
@@ -116,7 +120,7 @@ impl EventStore {
             .collect();
         let recovery = Recovery {
             manifest,
-            embeddings,
+            model,
             pending,
             replayed: replay.records.len(),
             truncated_bytes: replay.truncated_bytes,
@@ -229,7 +233,7 @@ impl EventStore {
         self.wal.sync()
     }
 
-    /// Persists a checkpoint — embeddings atomically, then the manifest
+    /// Persists a checkpoint — the model atomically, then the manifest
     /// commit point — and garbage-collects WAL segments wholly below
     /// `wal_offset` (the first record index **not** folded into the
     /// snapshot).
@@ -237,12 +241,12 @@ impl EventStore {
         &mut self,
         snapshot_version: u64,
         wal_offset: u64,
-        embeddings: &Embeddings,
+        model: &dyn CascadeModel,
     ) -> io::Result<Manifest> {
         if self.wal.fault_on_checkpoint() {
             return Err(fault::injected("checkpoint failure"));
         }
-        let manifest = save_checkpoint(&self.dir, snapshot_version, wal_offset, embeddings)?;
+        let manifest = save_checkpoint(&self.dir, snapshot_version, wal_offset, model)?;
         self.wal.compact(wal_offset)?;
         self.checkpoint_offset = self.checkpoint_offset.max(wal_offset);
         self.set_pending_gauge();
@@ -286,8 +290,13 @@ mod tests {
         dir
     }
 
-    fn emb(seed: f64) -> Embeddings {
-        Embeddings::from_matrices(4, 1, vec![seed; 4], vec![seed; 4])
+    fn emb(seed: f64) -> viralcast_model::EmbeddingBackend {
+        viralcast_model::EmbeddingBackend::new(viralcast_embed::Embeddings::from_matrices(
+            4,
+            1,
+            vec![seed; 4],
+            vec![seed; 4],
+        ))
     }
 
     #[test]
@@ -295,7 +304,7 @@ mod tests {
         let dir = tmp_dir("cold");
         let (store, recovery) = EventStore::open(&dir, WalOptions::default()).unwrap();
         assert!(recovery.manifest.is_none());
-        assert!(recovery.embeddings.is_none());
+        assert!(recovery.model.is_none());
         assert!(recovery.pending.is_empty());
         assert_eq!(recovery.snapshot_version(), 1);
         assert_eq!(store.next_index(), 0);
@@ -333,8 +342,13 @@ mod tests {
         }
         let (store, recovery) = EventStore::open(&dir, WalOptions::default()).unwrap();
         assert_eq!(recovery.snapshot_version(), 5);
-        let back = recovery.embeddings.expect("checkpointed embeddings");
-        assert!(back.max_abs_diff(&emb(0.5)) < 1e-12);
+        let back = recovery.model.expect("checkpointed model");
+        assert_eq!(back.backend_id(), "embed");
+        let back = back
+            .as_any()
+            .downcast_ref::<viralcast_model::EmbeddingBackend>()
+            .expect("embed backend");
+        assert!(back.embeddings().max_abs_diff(emb(0.5).embeddings()) < 1e-12);
         assert_eq!(recovery.pending.len(), 1);
         assert_eq!(recovery.pending[0].seed().node.0, 20);
         assert_eq!(store.next_index(), 3);
@@ -393,6 +407,7 @@ mod tests {
             snapshot_version: 3,
             wal_offset: 0,
             embeddings_file: "checkpoint-3.bin".into(),
+            backend: "embed".into(),
         }
         .save(&dir)
         .unwrap();

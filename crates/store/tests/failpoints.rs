@@ -202,7 +202,9 @@ fn checkpoint_failure_is_typed_and_the_retry_lands() {
     let dir = tmp_dir("ckpt");
     let (mut store, _) = EventStore::open(&dir, WalOptions::default()).unwrap();
     store.append_batch(&[cascade(0), cascade(10)]).unwrap();
-    let emb = viralcast_embed::Embeddings::from_matrices(4, 1, vec![0.5; 4], vec![0.5; 4]);
+    let emb = viralcast_store::model::EmbeddingBackend::new(
+        viralcast_embed::Embeddings::from_matrices(4, 1, vec![0.5; 4], vec![0.5; 4]),
+    );
 
     let handle = store.arm_faults(FaultPlan::new().fail(FaultKind::CheckpointFail, 1));
     let err = store.checkpoint(2, 2, &emb).unwrap_err();

@@ -48,17 +48,9 @@ fn main() {
         },
     );
 
-    let retrain: serve::RetrainFn = Box::new(move |current, fresh| {
-        let options = InferOptions {
-            topics,
-            ..InferOptions::default()
-        };
-        update_embeddings(current, fresh, &options)
-            .map(|o| o.embeddings)
-            .map_err(|e| e.to_string())
-    });
+    let retrain: serve::RetrainFn = Box::new(|current, fresh| current.update(fresh));
     let handle = serve::start(
-        outcome.embeddings,
+        std::sync::Arc::new(EmbeddingBackend::new(outcome.embeddings)),
         retrain,
         serve::ServeConfig {
             addr: "127.0.0.1:0".into(),

@@ -40,6 +40,18 @@ write_fixture() {
     printf '%s' '{"format":"viralcast-embeddings-v1","n":3,"k":2,"a":[0.5,0.1,0.2,0.6,0.3,0.3],"b":[0.4,0.2,0.1,0.5,0.2,0.4]}' >"$1"
 }
 
+# A tiny cascade corpus (JSON-lines, viralcast-cascades-v1) for the
+# netinf backend to fit at boot.
+write_corpus_fixture() {
+    {
+        printf '%s\n' '{"format":"viralcast-cascades-v1","node_count":3,"cascade_count":4}'
+        printf '%s\n' '{"infections":[{"node":0,"time":0.0},{"node":1,"time":0.4},{"node":2,"time":0.9}]}'
+        printf '%s\n' '{"infections":[{"node":1,"time":0.0},{"node":2,"time":0.3}]}'
+        printf '%s\n' '{"infections":[{"node":0,"time":0.0},{"node":2,"time":0.5}]}'
+        printf '%s\n' '{"infections":[{"node":2,"time":0.0},{"node":0,"time":0.7},{"node":1,"time":1.1}]}'
+    } >"$1"
+}
+
 # Polls the daemon's log for the ephemeral port it reports on stdout;
 # prints the port, or nothing on timeout.
 await_port() {
@@ -162,6 +174,113 @@ smoke_chaos() {
         return 1
     fi
     echo "chaos smoke test OK (3 kill cycles, zero acked loss)"
+}
+
+# Backend abstraction smoke: boot the released daemon with the NETINF
+# greedy backend fit from a tiny corpus, require /healthz and /metrics
+# to report the backend id, hit all four /v1 endpoints, then run
+# bench-backends and assert BENCH_backends.json scores both registered
+# backends.
+smoke_backends() {
+    local tmp corpus log pid port reply bench
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    corpus="$tmp/corpus.jsonl"
+    log="$tmp/serve.log"
+    bench="$tmp/BENCH_backends.json"
+    write_corpus_fixture "$corpus"
+
+    target/release/viralcast serve --backend netinf --corpus "$corpus" \
+        --addr 127.0.0.1:0 --workers 2 >"$log" 2>&1 &
+    pid=$!
+
+    port="$(await_port "$log")"
+    if [ -z "$port" ] || ! await_health "$port" | grep -q '"status":"ok"'; then
+        echo "netinf daemon never became healthy" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+    if ! http_get "$port" /healthz | grep -q '"backend":"netinf"'; then
+        echo "/healthz does not report the netinf backend" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+    if ! http_get "$port" /metrics | grep -q 'viralcast_backend_info{backend="netinf"} 1'; then
+        echo "/metrics is missing the viralcast_backend_info gauge" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+
+    reply="$(http_post "$port" /v1/hazard '{"pairs":[[0,1]],"dt":1.0}')"
+    case "$reply" in
+        *'HTTP/1.1 200'*'"rate":'*) ;;
+        *)
+            echo "netinf /v1/hazard failed: $reply" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+    reply="$(http_post "$port" /v1/predict '{"cascade":[{"node":0,"time":0.0}],"top":3}')"
+    case "$reply" in
+        *'HTTP/1.1 200'*'"candidates":'*) ;;
+        *)
+            echo "netinf /v1/predict failed: $reply" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+    reply="$(http_get "$port" '/v1/influencers?top=3')"
+    case "$reply" in
+        *'HTTP/1.1 200'*'"influencers":'*) ;;
+        *)
+            echo "netinf /v1/influencers failed: $reply" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+    reply="$(http_post "$port" /v1/ingest '{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":0.6}]]}')"
+    case "$reply" in
+        *'HTTP/1.1 200'*'"accepted":1'*) ;;
+        *)
+            echo "netinf /v1/ingest failed: $reply" >&2
+            kill "$pid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+
+    kill -INT "$pid"
+    wait "$pid" # a clean shutdown exits 0; set -e fails the sweep otherwise
+
+    if ! target/release/viralcast bench-backends --nodes 60 --cascades 40 \
+        --topics 2 --top 5 --scan-iterations 4 --seed 7 --out "$bench"; then
+        echo "bench-backends failed" >&2
+        return 1
+    fi
+    if [ ! -s "$bench" ]; then
+        echo "bench-backends produced no $bench" >&2
+        return 1
+    fi
+    # Parse strictly when a JSON parser is around; schema-grep otherwise.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool "$bench" >/dev/null
+    fi
+    if ! grep -q '"schema": *"viralcast-run-report/v1"' "$bench"; then
+        echo "BENCH_backends.json is missing the run-report schema" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    if ! grep -q '"backend": *"embed"' "$bench"; then
+        echo "BENCH_backends.json is missing the embed backend" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    if ! grep -q '"backend": *"netinf"' "$bench"; then
+        echo "BENCH_backends.json is missing the netinf backend" >&2
+        cat "$bench" >&2
+        return 1
+    fi
+    echo "backends smoke test OK (netinf serve on port $port, both backends benched)"
 }
 
 # Perf harness smoke: boot the daemon with an access log, run a short
@@ -329,6 +448,7 @@ fi
 run cargo test -q --workspace
 if [ "$build" -eq 1 ]; then
     run smoke_serve
+    run smoke_backends
     run smoke_chaos
     run smoke_loadgen
     run smoke_cluster

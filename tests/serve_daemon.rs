@@ -40,17 +40,9 @@ fn trained_world(seed: u64) -> (SbmExperiment, Embeddings) {
     (experiment, outcome.embeddings)
 }
 
-/// The real incremental-update pipeline as the daemon's trainer.
-fn pipeline_retrain(topics: usize) -> serve::RetrainFn {
-    Box::new(move |current, fresh| {
-        let options = InferOptions {
-            topics,
-            ..InferOptions::default()
-        };
-        update_embeddings(current, fresh, &options)
-            .map(|outcome| outcome.embeddings)
-            .map_err(|e| e.to_string())
-    })
+/// The backend's own incremental update as the daemon's trainer.
+fn pipeline_retrain() -> serve::RetrainFn {
+    Box::new(|current, fresh| current.update(fresh))
 }
 
 /// Renders cascades as a `/v1/ingest` request body.
@@ -82,8 +74,8 @@ fn metric_value(metrics: &str, name: &str) -> Option<f64> {
 fn daemon_serves_hot_swaps_and_shuts_down() {
     let (experiment, embeddings) = trained_world(11);
     let handle = serve::start(
-        embeddings,
-        pipeline_retrain(4),
+        std::sync::Arc::new(EmbeddingBackend::new(embeddings)),
+        pipeline_retrain(),
         serve::ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
@@ -230,8 +222,8 @@ fn requests_carry_trace_ids_into_the_access_log() {
 
     let embeddings = Embeddings::from_matrices(3, 1, vec![0.5, 0.4, 0.3], vec![0.5, 0.5, 0.5]);
     let handle = serve::start(
-        embeddings,
-        pipeline_retrain(1),
+        std::sync::Arc::new(EmbeddingBackend::new(embeddings)),
+        pipeline_retrain(),
         serve::ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,

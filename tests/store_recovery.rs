@@ -13,18 +13,25 @@
 //! 3. tear the final WAL record mid-byte and recovery keeps every
 //!    record before the tear.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use viralnews::viralcast::embed::Embeddings;
+use viralnews::viralcast::model::{CascadeModel, EmbeddingBackend};
 use viralnews::viralcast::propagation::{Cascade, Infection};
 use viralnews::viralcast::serve::{self, client};
 use viralnews::viralcast::store::{EventStore, WalOptions};
 
-fn embeddings() -> Embeddings {
-    Embeddings::from_matrices(8, 1, vec![0.4; 8], vec![0.6; 8])
+fn embeddings() -> Arc<dyn CascadeModel> {
+    Arc::new(EmbeddingBackend::new(Embeddings::from_matrices(
+        8,
+        1,
+        vec![0.4; 8],
+        vec![0.6; 8],
+    )))
 }
 
 fn identity_retrain() -> serve::RetrainFn {
-    Box::new(|emb, _| Ok(emb.clone()))
+    Box::new(|model, _| Ok(Arc::clone(model)))
 }
 
 fn cascade(seed: u32) -> Cascade {
