@@ -17,6 +17,11 @@ use viralcast_serve::shard::RowBlock;
 /// The format tag every manifest must carry.
 pub const MANIFEST_FORMAT: &str = "viralcast-cluster-manifest/v1";
 
+/// The v2 format tag: shards may carry follower addresses. Written only
+/// when a manifest actually names followers, so follower-free manifests
+/// stay readable by v1 deployments.
+pub const MANIFEST_FORMAT_V2: &str = "viralcast-cluster-manifest/v2";
+
 /// How nodes map onto shards.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Placement {
@@ -32,8 +37,14 @@ pub enum Placement {
 pub struct ShardSpec {
     /// Shard index, `0..shard_count`.
     pub id: usize,
-    /// The address the shard's daemon binds (and the router dials).
+    /// The address the shard's leader daemon binds (and the router
+    /// dials for ingest).
     pub addr: SocketAddr,
+    /// Read-only follower daemons replicating this shard's leader
+    /// (manifest v2); empty for follower-less shards. The router fans
+    /// reads across leader + followers and fails over to a follower
+    /// when the leader dies.
+    pub followers: Vec<SocketAddr>,
 }
 
 /// A validated cluster layout.
@@ -112,10 +123,46 @@ impl ClusterManifest {
             shards: addrs
                 .iter()
                 .enumerate()
-                .map(|(id, &addr)| ShardSpec { id, addr })
+                .map(|(id, &addr)| ShardSpec {
+                    id,
+                    addr,
+                    followers: Vec::new(),
+                })
                 .collect(),
             backend: viralcast_model::EmbeddingBackend::ID.to_string(),
         })
+    }
+
+    /// Attaches follower addresses per shard (`followers[i]` replicates
+    /// shard `i`'s leader), upgrading the manifest to v2 on save.
+    ///
+    /// # Errors
+    /// The outer vector must have exactly one entry per shard, and every
+    /// address across leaders and followers must be distinct.
+    pub fn with_followers(
+        mut self,
+        followers: Vec<Vec<SocketAddr>>,
+    ) -> Result<ClusterManifest, String> {
+        if followers.len() != self.shards.len() {
+            return Err(format!(
+                "follower lists cover {} shards but the manifest has {}",
+                followers.len(),
+                self.shards.len()
+            ));
+        }
+        for (shard, list) in followers.into_iter().enumerate() {
+            self.shards[shard].followers = list;
+        }
+        let mut seen: Vec<SocketAddr> = Vec::new();
+        for s in &self.shards {
+            for a in std::iter::once(&s.addr).chain(s.followers.iter()) {
+                if seen.contains(a) {
+                    return Err(format!("duplicate shard address {a}"));
+                }
+                seen.push(*a);
+            }
+        }
+        Ok(self)
     }
 
     /// Number of shards.
@@ -129,6 +176,21 @@ impl ClusterManifest {
     /// Panics if `shard` is out of range.
     pub fn addr_of(&self, shard: usize) -> SocketAddr {
         self.shards[shard].addr
+    }
+
+    /// The follower addresses replicating shard `shard` (empty for a
+    /// follower-less shard).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn followers_of(&self, shard: usize) -> &[SocketAddr] {
+        &self.shards[shard].followers
+    }
+
+    /// Whether any shard names a follower (i.e. the manifest serializes
+    /// with the v2 format tag).
+    pub fn has_followers(&self) -> bool {
+        self.shards.iter().any(|s| !s.followers.is_empty())
     }
 
     /// Derives the candidate row block shard `shard` owns for a model
@@ -157,10 +219,10 @@ impl ClusterManifest {
     pub fn parse(text: &str) -> Result<ClusterManifest, String> {
         let doc = json::parse(text).map_err(|e| format!("malformed manifest JSON: {e}"))?;
         match json::get(&doc, "format") {
-            Some(JsonValue::Str(tag)) if tag == MANIFEST_FORMAT => {}
+            Some(JsonValue::Str(tag)) if tag == MANIFEST_FORMAT || tag == MANIFEST_FORMAT_V2 => {}
             Some(JsonValue::Str(tag)) => {
                 return Err(format!(
-                    "unsupported manifest format {tag:?} (expected {MANIFEST_FORMAT:?})"
+                    "unsupported manifest format {tag:?} (expected {MANIFEST_FORMAT:?} or {MANIFEST_FORMAT_V2:?})"
                 ))
             }
             _ => return Err(format!("missing \"format\" tag {MANIFEST_FORMAT:?}")),
@@ -180,7 +242,25 @@ impl ClusterManifest {
                     .map_err(|e| format!("shards[{i}]: malformed addr {raw:?}: {e}"))?,
                 _ => return Err(format!("shards[{i}]: missing \"addr\" string")),
             };
-            entries.push(ShardSpec { id, addr });
+            let followers = match json::get(s, "followers") {
+                None => Vec::new(),
+                Some(raw) => json::as_arr(raw)
+                    .ok_or(format!("shards[{i}]: \"followers\" must be an array"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(j, f)| match f {
+                        JsonValue::Str(raw) => raw.parse::<SocketAddr>().map_err(|e| {
+                            format!("shards[{i}]: malformed follower addr {raw:?}: {e}")
+                        }),
+                        _ => Err(format!("shards[{i}]: followers[{j}] must be a string")),
+                    })
+                    .collect::<Result<Vec<SocketAddr>, String>>()?,
+            };
+            entries.push(ShardSpec {
+                id,
+                addr,
+                followers,
+            });
         }
         entries.sort_by_key(|s| s.id);
         for (expect, s) in entries.iter().enumerate() {
@@ -193,6 +273,7 @@ impl ClusterManifest {
             }
         }
         let addrs: Vec<SocketAddr> = entries.iter().map(|s| s.addr).collect();
+        let followers: Vec<Vec<SocketAddr>> = entries.iter().map(|s| s.followers.clone()).collect();
         // Manifests written before the backend split carry no key and
         // default to embed, same as checkpoint manifests.
         let backend = match json::get(&doc, "backend") {
@@ -206,7 +287,9 @@ impl ClusterManifest {
                 if json::get(&doc, "membership").is_some() {
                     return Err("round-robin placement must not carry a membership".into());
                 }
-                Self::round_robin(&addrs)?.with_backend(&backend)
+                Self::round_robin(&addrs)?
+                    .with_backend(&backend)?
+                    .with_followers(followers)
             }
             Some(JsonValue::Str(kind)) if kind == "membership" => {
                 let raw = json::as_arr(
@@ -223,7 +306,9 @@ impl ClusterManifest {
                             .ok_or(format!("membership[{v}] must be a non-negative integer"))
                     })
                     .collect::<Result<Vec<usize>, String>>()?;
-                Self::with_membership(&addrs, membership)?.with_backend(&backend)
+                Self::with_membership(&addrs, membership)?
+                    .with_backend(&backend)?
+                    .with_followers(followers)
             }
             Some(JsonValue::Str(kind)) => Err(format!(
                 "unknown placement {kind:?} (expected \"round-robin\" or \"membership\")"
@@ -232,10 +317,17 @@ impl ClusterManifest {
         }
     }
 
-    /// The manifest's JSON document.
+    /// The manifest's JSON document. Follower-free manifests keep the
+    /// v1 tag (older readers stay compatible); naming any follower
+    /// upgrades the tag to v2.
     pub fn to_json(&self) -> JsonValue {
+        let format = if self.has_followers() {
+            MANIFEST_FORMAT_V2
+        } else {
+            MANIFEST_FORMAT
+        };
         let mut fields = vec![
-            ("format", JsonValue::from(MANIFEST_FORMAT)),
+            ("format", JsonValue::from(format)),
             ("backend", JsonValue::from(self.backend.as_str())),
             (
                 "placement",
@@ -257,10 +349,22 @@ impl ClusterManifest {
                 self.shards
                     .iter()
                     .map(|s| {
-                        JsonValue::obj(vec![
+                        let mut spec = vec![
                             ("id", JsonValue::from(s.id)),
                             ("addr", JsonValue::from(s.addr.to_string())),
-                        ])
+                        ];
+                        if !s.followers.is_empty() {
+                            spec.push((
+                                "followers",
+                                JsonValue::Arr(
+                                    s.followers
+                                        .iter()
+                                        .map(|f| JsonValue::from(f.to_string()))
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        JsonValue::obj(spec)
                     })
                     .collect(),
             ),
@@ -373,8 +477,20 @@ mod tests {
         for (bad, needle) in [
             (r#"{"placement":"round-robin","shards":[]}"#, "format"),
             (
-                r#"{"format":"viralcast-cluster-manifest/v2","placement":"round-robin","shards":[]}"#,
+                r#"{"format":"viralcast-cluster-manifest/v3","placement":"round-robin","shards":[]}"#,
                 "unsupported manifest format",
+            ),
+            (
+                r#"{"format":"viralcast-cluster-manifest/v2","placement":"round-robin","shards":[{"id":0,"addr":"127.0.0.1:7001","followers":["127.0.0.1:7001"]}]}"#,
+                "duplicate shard address",
+            ),
+            (
+                r#"{"format":"viralcast-cluster-manifest/v2","placement":"round-robin","shards":[{"id":0,"addr":"127.0.0.1:7001","followers":["nowhere"]}]}"#,
+                "malformed follower addr",
+            ),
+            (
+                r#"{"format":"viralcast-cluster-manifest/v2","placement":"round-robin","shards":[{"id":0,"addr":"127.0.0.1:7001","followers":7}]}"#,
+                "\"followers\" must be an array",
             ),
             (
                 r#"{"format":"viralcast-cluster-manifest/v1","placement":"round-robin","shards":[]}"#,
@@ -408,6 +524,65 @@ mod tests {
             let err = ClusterManifest::parse(bad).unwrap_err();
             assert!(err.contains(needle), "{bad} -> {err}");
         }
+    }
+
+    #[test]
+    fn follower_manifests_round_trip_with_the_v2_tag() {
+        let followers: Vec<Vec<SocketAddr>> = vec![
+            vec!["127.0.0.1:8001".parse().unwrap()],
+            vec![
+                "127.0.0.1:8002".parse().unwrap(),
+                "127.0.0.1:8003".parse().unwrap(),
+            ],
+        ];
+        let m = ClusterManifest::round_robin(&addrs(2))
+            .unwrap()
+            .with_followers(followers)
+            .unwrap();
+        assert!(m.has_followers());
+        assert_eq!(m.followers_of(0).len(), 1);
+        assert_eq!(m.followers_of(1)[1].port(), 8003);
+
+        let text = m.to_json().render();
+        assert!(
+            text.contains("\"format\":\"viralcast-cluster-manifest/v2\""),
+            "{text}"
+        );
+        let back = ClusterManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+
+        // A v2 tag without followers is accepted; a follower-less
+        // manifest keeps writing the v1 tag.
+        let plain = ClusterManifest::round_robin(&addrs(2)).unwrap();
+        assert!(!plain.has_followers());
+        let plain_text = plain.to_json().render();
+        assert!(plain_text.contains("\"format\":\"viralcast-cluster-manifest/v1\""));
+        let v2_plain = plain_text.replace("manifest/v1", "manifest/v2");
+        assert_eq!(ClusterManifest::parse(&v2_plain).unwrap(), plain);
+    }
+
+    #[test]
+    fn follower_lists_must_match_shards_and_stay_duplicate_free() {
+        let err = ClusterManifest::round_robin(&addrs(2))
+            .unwrap()
+            .with_followers(vec![vec![]])
+            .unwrap_err();
+        assert!(err.contains("cover 1 shards"), "{err}");
+
+        // A follower colliding with another shard's leader is refused.
+        let err = ClusterManifest::round_robin(&addrs(2))
+            .unwrap()
+            .with_followers(vec![vec!["127.0.0.1:7002".parse().unwrap()], vec![]])
+            .unwrap_err();
+        assert!(err.contains("duplicate shard address"), "{err}");
+
+        // So are two shards sharing a follower.
+        let shared: SocketAddr = "127.0.0.1:8009".parse().unwrap();
+        let err = ClusterManifest::round_robin(&addrs(2))
+            .unwrap()
+            .with_followers(vec![vec![shared], vec![shared]])
+            .unwrap_err();
+        assert!(err.contains("duplicate shard address"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! served with `"partial": true` plus `shards_responding` /
 //! `shards_total` — a cluster with every shard down still answers
 //! HTTP 200 with an empty, clearly-partial ranking, never a 5xx.
+//!
+//! With a v2 manifest naming followers, each shard becomes a replica
+//! set of dialable *sites* (leader first). Reads spread across a
+//! shard's healthy sites round-robin and fail over site-by-site inside
+//! one scatter task, so a dead leader degrades that shard's reads to
+//! its follower instead of going partial. Ingest stays leaders-only:
+//! followers refuse writes with a 409 redirect.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -81,16 +88,59 @@ impl Default for RouterConfig {
     }
 }
 
+/// One dialable daemon: a shard's leader or one of its followers. The
+/// health board tracks one slot per site.
+#[derive(Clone, Copy)]
+struct Site {
+    shard: usize,
+    addr: SocketAddr,
+    leader: bool,
+}
+
 /// Everything a router worker touches.
 struct RouterState {
     manifest: ClusterManifest,
     board: Arc<HealthBoard>,
+    /// Flat site list; `board` slot `i` tracks `sites[i]`.
+    sites: Vec<Site>,
+    /// Per-shard site slots, leader first.
+    shard_slots: Vec<Vec<usize>>,
     pool: FanoutPool,
     shard_timeout: Duration,
     retry: RetryPolicy,
     started: Instant,
     /// Round-robin cursor for the forward-to-any paths.
     cursor: AtomicU64,
+}
+
+impl RouterState {
+    /// The board slot of shard `shard`'s leader.
+    fn leader_slot(&self, shard: usize) -> usize {
+        self.shard_slots[shard][0]
+    }
+
+    /// Shard `shard`'s site slots in read-preference order: healthy
+    /// sites first, rotated by `spread` so consecutive reads land on
+    /// different replicas, then believed-down sites as a last resort
+    /// (the belief may be stale in either direction).
+    fn read_order(&self, shard: usize, spread: usize) -> Vec<usize> {
+        let slots = &self.shard_slots[shard];
+        let healthy: Vec<usize> = slots
+            .iter()
+            .copied()
+            .filter(|&s| self.board.is_healthy(s))
+            .collect();
+        let mut order: Vec<usize> = (0..healthy.len())
+            .map(|i| healthy[(spread + i) % healthy.len()])
+            .collect();
+        let down: Vec<usize> = slots
+            .iter()
+            .copied()
+            .filter(|s| !order.contains(s))
+            .collect();
+        order.extend(down);
+        order
+    }
 }
 
 /// A running router. Call [`RouterHandle::shutdown`] to stop it;
@@ -132,10 +182,28 @@ impl RouterHandle {
 /// the health prober.
 pub fn start_router(manifest: ClusterManifest, config: RouterConfig) -> io::Result<RouterHandle> {
     let shard_count = manifest.shard_count();
-    let board = HealthBoard::new(shard_count);
+    let mut sites = Vec::new();
+    let mut shard_slots = vec![Vec::new(); shard_count];
+    for (shard, slots) in shard_slots.iter_mut().enumerate() {
+        slots.push(sites.len());
+        sites.push(Site {
+            shard,
+            addr: manifest.addr_of(shard),
+            leader: true,
+        });
+        for &addr in manifest.followers_of(shard) {
+            slots.push(sites.len());
+            sites.push(Site {
+                shard,
+                addr,
+                leader: false,
+            });
+        }
+    }
+    let board = HealthBoard::new(sites.len());
     let prober = Prober::start(
         Arc::clone(&board),
-        (0..shard_count).map(|s| manifest.addr_of(s)).collect(),
+        sites.iter().map(|s| s.addr).collect(),
         config.probe_interval,
         config.shard_timeout,
     );
@@ -147,6 +215,8 @@ pub fn start_router(manifest: ClusterManifest, config: RouterConfig) -> io::Resu
     let state = Arc::new(RouterState {
         manifest,
         board,
+        sites,
+        shard_slots,
         pool: FanoutPool::new(config.fanout_workers.max(1)),
         shard_timeout: config.shard_timeout,
         retry: config.retry,
@@ -312,18 +382,46 @@ fn route(req: &Request, state: &RouterState, trace_id: &str) -> Response {
 fn healthz(state: &RouterState) -> Response {
     let board = &state.board;
     let total = state.manifest.shard_count();
-    let healthy = board.healthy_count();
+    // A shard counts as healthy when every one of its sites (leader
+    // plus followers) answers probes; anything less is `degraded`.
+    let healthy = (0..total)
+        .filter(|&shard| {
+            state.shard_slots[shard]
+                .iter()
+                .all(|&slot| board.is_healthy(slot))
+        })
+        .count();
+    let followers_total = state.sites.iter().filter(|s| !s.leader).count();
     let shards: Vec<JsonValue> = state
         .manifest
         .shards
         .iter()
         .map(|s| {
-            JsonValue::obj(vec![
+            let leader = state.leader_slot(s.id);
+            let mut fields = vec![
                 ("id", JsonValue::from(s.id)),
                 ("addr", JsonValue::from(s.addr.to_string())),
-                ("healthy", JsonValue::Bool(board.is_healthy(s.id))),
-                ("nodes", JsonValue::from(board.nodes(s.id))),
-            ])
+                ("healthy", JsonValue::Bool(board.is_healthy(leader))),
+                ("nodes", JsonValue::from(board.nodes(leader))),
+            ];
+            if !s.followers.is_empty() {
+                fields.push((
+                    "followers",
+                    JsonValue::Arr(
+                        s.followers
+                            .iter()
+                            .zip(state.shard_slots[s.id][1..].iter())
+                            .map(|(addr, &slot)| {
+                                JsonValue::obj(vec![
+                                    ("addr", JsonValue::from(addr.to_string())),
+                                    ("healthy", JsonValue::Bool(board.is_healthy(slot))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            JsonValue::obj(fields)
         })
         .collect();
     Response::json(
@@ -336,6 +434,7 @@ fn healthz(state: &RouterState) -> Response {
             ("role", JsonValue::from("router")),
             ("shards_total", JsonValue::from(total)),
             ("shards_healthy", JsonValue::from(healthy)),
+            ("followers_total", JsonValue::from(followers_total)),
             ("nodes", JsonValue::from(board.max_nodes())),
             ("snapshot_version", JsonValue::from(board.max_version())),
             (
@@ -382,14 +481,18 @@ fn ingest(req: &Request, state: &RouterState, trace_id: &str) -> Response {
     };
     let key = seed_site(&body).unwrap_or_else(|| state.cursor.fetch_add(1, Ordering::Relaxed));
     let order = hashing::rendezvous_order(key, state.manifest.shard_count());
-    // Two passes over the failover order: believed-healthy shards first,
-    // then the rest (the belief may be stale in either direction).
+    // Writes go to leaders only — followers answer ingest with a 409
+    // redirect. Two passes over the failover order: believed-healthy
+    // leaders first, then the rest (the belief may be stale in either
+    // direction).
+    let leader_healthy = |&&s: &&usize| state.board.is_healthy(state.leader_slot(s));
     let attempts = order
         .iter()
-        .filter(|&&s| state.board.is_healthy(s))
-        .chain(order.iter().filter(|&&s| !state.board.is_healthy(s)));
+        .filter(leader_healthy)
+        .chain(order.iter().filter(|s| !leader_healthy(s)));
     for &shard in attempts {
-        match try_forward(state, shard, "POST", "/v1/ingest", Some(text), trace_id) {
+        let slot = state.leader_slot(shard);
+        match try_forward(state, slot, "POST", "/v1/ingest", Some(text), trace_id) {
             Some(response) => {
                 obs::metrics().counter("router.ingest.routed").incr(1);
                 return response;
@@ -400,14 +503,15 @@ fn ingest(req: &Request, state: &RouterState, trace_id: &str) -> Response {
     Response::error(503, "no shard reachable for ingest")
 }
 
-/// Forwards a request to any healthy shard (round-robin), falling back
-/// to the full shard list — used for `/v1/hazard`, which any shard can
-/// answer from its full copy of the embeddings.
+/// Forwards a request to any healthy site (round-robin over leaders and
+/// followers alike), falling back to the full site list — used for
+/// `/v1/hazard`, a read any daemon can answer from its full copy of the
+/// embeddings.
 fn forward_any(req: &Request, state: &RouterState, trace_id: &str) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "request body is not valid UTF-8");
     };
-    let total = state.manifest.shard_count();
+    let total = state.sites.len();
     let start = state.cursor.fetch_add(1, Ordering::Relaxed) as usize;
     let order: Vec<usize> = (0..total).map(|i| (start + i) % total).collect();
     let attempts = order
@@ -415,35 +519,35 @@ fn forward_any(req: &Request, state: &RouterState, trace_id: &str) -> Response {
         .filter(|&&s| state.board.is_healthy(s))
         .chain(order.iter().filter(|&&s| !state.board.is_healthy(s)));
     let body = if text.is_empty() { None } else { Some(text) };
-    for &shard in attempts {
-        if let Some(response) = try_forward(state, shard, &req.method, &req.path, body, trace_id) {
+    for &slot in attempts {
+        if let Some(response) = try_forward(state, slot, &req.method, &req.path, body, trace_id) {
             return response;
         }
     }
     Response::error(503, "no shard reachable")
 }
 
-/// One forwarding attempt with retry; `None` means the shard could not
+/// One forwarding attempt with retry; `None` means the site could not
 /// be reached at all (and has been marked unhealthy).
 fn try_forward(
     state: &RouterState,
-    shard: usize,
+    slot: usize,
     method: &str,
     target: &str,
     body: Option<&str>,
     trace_id: &str,
 ) -> Option<Response> {
-    let addr = state.manifest.addr_of(shard);
+    let site = state.sites[slot];
     let headers = [("X-Request-Id", trace_id)];
-    match client::request_with_retry(&addr, method, target, body, &headers, &state.retry) {
+    match client::request_with_retry(&site.addr, method, target, body, &headers, &state.retry) {
         Ok(out) => {
-            state.board.mark_up(shard);
+            state.board.mark_up(slot);
             Some(forward(&out.response))
         }
         Err(_) => {
-            state.board.mark_down(shard);
+            state.board.mark_down(slot);
             obs::metrics()
-                .counter(&format!("router.shard.errors.{shard}"))
+                .counter(&format!("router.shard.errors.{}", site.shard))
                 .incr(1);
             None
         }
@@ -461,9 +565,12 @@ fn forward(response: &client::ClientResponse) -> Response {
     }
 }
 
-/// Scatters one request to every believed-healthy shard on the fan-out
-/// pool and gathers the responses that arrive within the per-shard
-/// deadline. Shards that error or miss the deadline are marked down.
+/// Scatters one request to every shard on the fan-out pool and gathers
+/// the responses that arrive within the per-shard deadline. Each
+/// shard's task walks the shard's sites (leader + followers) in
+/// read-preference order and fails over inside the task, so one dead
+/// replica never makes the merged response partial while a sibling
+/// still answers. Sites that error are marked down on the spot.
 fn scatter(
     state: &RouterState,
     method: &str,
@@ -473,8 +580,12 @@ fn scatter(
 ) -> Vec<(usize, client::ClientResponse)> {
     let (tx, rx) = mpsc::channel();
     let mut dispatched = 0usize;
-    for shard in state.board.healthy_shards() {
-        let addr = state.manifest.addr_of(shard);
+    let spread = state.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+    for shard in 0..state.manifest.shard_count() {
+        let order = state.read_order(shard, spread);
+        let addrs: Vec<(usize, SocketAddr)> =
+            order.iter().map(|&s| (s, state.sites[s].addr)).collect();
+        let board = Arc::clone(&state.board);
         let tx = tx.clone();
         let method = method.to_string();
         let target = target.to_string();
@@ -483,15 +594,32 @@ fn scatter(
         let timeout = state.shard_timeout;
         let accepted = state.pool.try_submit(move || {
             let started = Instant::now();
-            let result = client::request_with_options(
-                &addr,
-                &method,
-                &target,
-                body.as_deref(),
-                &[("X-Request-Id", &trace_id)],
-                timeout,
-            );
-            let _ = tx.send((shard, started.elapsed(), result));
+            let mut last = Err(io::Error::new(io::ErrorKind::NotConnected, "no sites"));
+            for (slot, addr) in addrs {
+                let result = client::request_with_options(
+                    &addr,
+                    &method,
+                    &target,
+                    body.as_deref(),
+                    &[("X-Request-Id", &trace_id)],
+                    timeout,
+                );
+                match result {
+                    Ok(response) => {
+                        board.mark_up(slot);
+                        last = Ok(response);
+                        break;
+                    }
+                    Err(e) => {
+                        board.mark_down(slot);
+                        obs::metrics()
+                            .counter(&format!("router.shard.errors.{shard}"))
+                            .incr(1);
+                        last = Err(e);
+                    }
+                }
+            }
+            let _ = tx.send((shard, started.elapsed(), last));
         });
         if accepted {
             dispatched += 1;
@@ -509,7 +637,6 @@ fn scatter(
         let remaining = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(remaining) {
             Ok((shard, elapsed, Ok(response))) => {
-                state.board.mark_up(shard);
                 obs::metrics()
                     .histogram_exponential(
                         &format!("router.shard.latency_ms.{shard}"),
@@ -520,13 +647,8 @@ fn scatter(
                     .record(elapsed.as_secs_f64() * 1e3);
                 replies.push((shard, response));
             }
-            Ok((shard, _, Err(_))) => {
-                state.board.mark_down(shard);
-                obs::metrics()
-                    .counter(&format!("router.shard.errors.{shard}"))
-                    .incr(1);
-            }
-            Err(_) => break, // gather deadline: stragglers count as down
+            Ok((_, _, Err(_))) => {} // every site down; counted already
+            Err(_) => break,         // gather deadline: stragglers count as down
         }
     }
     replies
@@ -878,6 +1000,111 @@ mod tests {
                 .status,
             405
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dead_leader_reads_fail_over_to_its_follower_and_stay_non_partial() {
+        // Shard 0: dead leader, live follower. Shard 1: live leader.
+        let follower =
+            fake_shard(r#"{"snapshot_version":7,"observed":1,"candidates":[{"node":0,"rate":3}]}"#);
+        let leader1 =
+            fake_shard(r#"{"snapshot_version":7,"observed":1,"candidates":[{"node":1,"rate":2}]}"#);
+        let manifest = ClusterManifest::round_robin(&[dead_addr(), leader1])
+            .unwrap()
+            .with_followers(vec![vec![follower], vec![]])
+            .unwrap();
+        let handle = start_router(
+            manifest,
+            RouterConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                fanout_workers: 4,
+                shard_timeout: Duration::from_secs(2),
+                retry: RetryPolicy {
+                    max_attempts: 1,
+                    ..RetryPolicy::default()
+                },
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+
+        // Reads fail over to the follower inside the scatter task: both
+        // shards respond and the merge is complete, never partial.
+        for _ in 0..3 {
+            let response = client::request(
+                &addr,
+                "POST",
+                "/v1/predict",
+                Some(r#"{"cascade":[{"node":7,"time":0.0}],"top":2}"#),
+            )
+            .unwrap();
+            assert_eq!(response.status, 200, "{}", response.body);
+            assert!(
+                response.body.contains(r#""partial":false"#),
+                "{}",
+                response.body
+            );
+            assert!(
+                response
+                    .body
+                    .contains(r#""shards_responding":2,"shards_total":2"#),
+                "{}",
+                response.body
+            );
+            assert!(
+                response
+                    .body
+                    .contains(r#""candidates":[{"node":0,"rate":3},{"node":1,"rate":2}]"#),
+                "{}",
+                response.body
+            );
+        }
+
+        // Ingest never lands on the follower: with shard 0's leader
+        // dead it fails over to shard 1's leader.
+        let ingest = client::request(
+            &addr,
+            "POST",
+            "/v1/ingest",
+            Some(r#"{"cascades":[[{"node":0,"time":0.0}]]}"#),
+        )
+        .unwrap();
+        assert_eq!(ingest.status, 200, "{}", ingest.body);
+
+        // Health distinguishes the dead leader from its live follower.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+            assert_eq!(health.status, 200);
+            if health.body.contains(r#""healthy":false"#) {
+                assert!(
+                    health.body.contains(r#""followers_total":1"#),
+                    "{}",
+                    health.body
+                );
+                assert!(
+                    health.body.contains(&format!(
+                        r#""followers":[{{"addr":"{follower}","healthy":true}}]"#
+                    )),
+                    "{}",
+                    health.body
+                );
+                assert!(
+                    health.body.contains(r#""status":"degraded""#),
+                    "{}",
+                    health.body
+                );
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "prober never saw the dead leader"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
         handle.shutdown();
     }
 

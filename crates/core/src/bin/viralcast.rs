@@ -113,6 +113,7 @@ fn run() -> Result<(), CliError> {
             "loadgen" => loadgen_cmd(&flags)?,
             "bench-hotpath" => bench_hotpath_cmd(&flags)?,
             "bench-backends" => bench_backends_cmd(&flags)?,
+            "bench-replica" => bench_replica_cmd(&flags)?,
             "chaos" => chaos_cmd(&flags)?,
             _ => unreachable!("validated by command_flags"),
         }
@@ -148,7 +149,11 @@ USAGE:
                            [--fsync always|interval[:MS]|rotate]
                            [--segment-bytes N] [--access-log FILE]
                            [--shard I/N --cluster-manifest FILE]
+  viralcast serve          --follow HOST:PORT [--addr HOST:PORT] [--workers N]
+                           [--poll-interval SECS] [--access-log FILE]
+                           [--shard I/N --cluster-manifest FILE]
   viralcast cluster-plan   --out FILE --shards HOST:PORT,HOST:PORT,…
+                           [--followers HOST:PORT,…;HOST:PORT,…]
                            [--corpus FILE] [--topics K] [--backend embed|netinf]
   viralcast router         --cluster-manifest FILE [--addr HOST:PORT]
                            [--workers N] [--fanout-workers N]
@@ -160,9 +165,12 @@ USAGE:
                            [--seed S] [--out FILE]
   viralcast bench-backends [--nodes N] [--cascades C] [--topics K] [--top K]
                            [--scan-iterations I] [--seed S] [--out FILE]
+  viralcast bench-replica  [--nodes N] [--topics K] [--shards N] [--followers M]
+                           [--workers N] [--duration SECS] [--seed S] [--out FILE]
   viralcast chaos          --embeddings FILE --data-dir DIR [--workers N]
                            [--backend embed|netinf] [--corpus FILE]
                            [--cycles C] [--steady SECS] [--cluster N]
+                           [--followers M]
                            [--recovery-timeout SECS] [--seed S] [--out FILE]
 
 SERVE:
@@ -192,6 +200,18 @@ SERVE:
   reported by /healthz and /metrics; restarting a durable daemon with a
   different --backend than its checkpoint fails fast.
 
+  --follow LEADER boots a read-only snapshot replica instead: the model
+  (and its backend) streams from the leader's
+  GET /v1/replica/snapshot endpoint, newer versions are polled every
+  --poll-interval seconds (default 0.25, capped backoff while the
+  leader is unreachable) and hot-swapped in, POST /v1/ingest answers
+  409 with a Location redirect to the leader, and /healthz and /metrics
+  report replica_lag_versions and replica_lag_ms. Model-source and
+  durability flags (--embeddings, --corpus, --backend, --data-dir,
+  --fsync, --segment-bytes, --retrain-interval, --min-retrain-batch)
+  are rejected with --follow. With --shard/--cluster-manifest the
+  follower scopes its candidate scan exactly like its leader.
+
 CLUSTER:
   cluster-plan writes a shard manifest (schema
   viralcast-cluster-manifest/v1) assigning every embedding row to one of
@@ -204,6 +224,15 @@ CLUSTER:
   default embed); a shard or router started against a manifest whose
   backend disagrees with its own refuses to boot, so mixed-backend
   clusters cannot form.
+
+  --followers records snapshot-replica followers per shard in the
+  manifest (schema upgrades to viralcast-cluster-manifest/v2):
+  ';'-separated per-shard groups of comma-separated HOST:PORT, one
+  group per shard, empty groups allowed. Each follower is a serve
+  daemon started with --follow LEADER (plus the same --shard flags as
+  its leader); the router fans reads across leader and followers and
+  keeps a shard's reads non-partial when only its leader dies, while
+  ingest always routes to leaders.
 
   router terminates client HTTP in front of the shards named by the
   manifest: POST /v1/ingest forwards to the shard owning the cascade's
@@ -250,6 +279,15 @@ BENCH-BACKENDS:
   --out FILE (default BENCH_backends.json) gets one scorecard per
   backend. Deterministic given --seed.
 
+BENCH-REPLICA:
+  Measures follower read scaling: the same --shards cluster (synthetic
+  --nodes × --topics embeddings, default 200×4 over 2 shards) is booted
+  in-process twice — leader-only, then with --followers replicas per
+  shard (default 1) — and each leg is driven through a scatter-gather
+  router by --workers read-only workers (default 4) for --duration
+  seconds (default 5). --out FILE (default BENCH_replica.json) gets
+  per-leg throughput/latency and the read_speedup ratio.
+
 CHAOS:
   Spawns a durable serve child over --data-dir (must be empty), drives
   it with --workers ingest-heavy closed-loop workers whose cascades
@@ -269,6 +307,12 @@ CHAOS:
   with HTTP 200 and \"partial\": true — any 5xx fails the run — and the
   final durability replay unions every shard's data dir. The report
   gains partial_responses and non_partial_5xx.
+
+  --followers M (with --cluster) also boots M serve --follow replicas
+  per shard leader under a v2 manifest and *strengthens* the assertion:
+  while a leader is down its followers must keep reads fully answered —
+  every probe must stay \"partial\": false, and any degraded read fails
+  the run (reported as degraded_reads).
 
 OBSERVABILITY (all commands):
   --log-level L     stderr logging: off|error|warn|info|debug|trace (default info)
@@ -332,10 +376,13 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("access-log", true),
             ("shard", true),
             ("cluster-manifest", true),
+            ("follow", true),
+            ("poll-interval", true),
         ],
         "cluster-plan" => &[
             ("out", true),
             ("shards", true),
+            ("followers", true),
             ("corpus", true),
             ("topics", true),
             ("backend", true),
@@ -374,6 +421,16 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("seed", true),
             ("out", true),
         ],
+        "bench-replica" => &[
+            ("nodes", true),
+            ("topics", true),
+            ("shards", true),
+            ("followers", true),
+            ("workers", true),
+            ("duration", true),
+            ("seed", true),
+            ("out", true),
+        ],
         "chaos" => &[
             ("embeddings", true),
             ("backend", true),
@@ -381,6 +438,7 @@ fn command_flags(command: &str) -> Option<Vec<FlagSpec>> {
             ("data-dir", true),
             ("workers", true),
             ("cluster", true),
+            ("followers", true),
             ("cycles", true),
             ("steady", true),
             ("recovery-timeout", true),
@@ -623,10 +681,36 @@ fn influencers_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     ])
 }
 
+/// Parses `--shard I/N` (`None` when absent).
+fn parse_shard_flag(flags: &Flags) -> Result<Option<(usize, usize)>, CliError> {
+    match flags.get("shard") {
+        None => Ok(None),
+        Some(raw) => {
+            let parsed = raw
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+            match parsed {
+                Some((i, n)) if n >= 1 && i < n => Ok(Some((i, n))),
+                _ => Err(usage_err(format!(
+                    "malformed --shard {raw:?} (expected I/N with I < N)"
+                ))),
+            }
+        }
+    }
+}
+
 fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     use viralcast::model::{CascadeModel, EmbeddingBackend, NetInfBackend, NetInfConfig, BACKENDS};
     use viralcast::serve;
 
+    if flags.has("follow") {
+        return serve_follow_cmd(flags);
+    }
+    if flags.has("poll-interval") {
+        return Err(usage_err(
+            "--poll-interval tunes the replication poll; pass --follow LEADER to enable it",
+        ));
+    }
     let backend = flags.get("backend").map_or(EmbeddingBackend::ID, |b| b);
     if !BACKENDS.contains(&backend) {
         return Err(usage_err(format!(
@@ -634,22 +718,7 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
             BACKENDS.join(", ")
         )));
     }
-    let shard_index = match flags.get("shard") {
-        None => None,
-        Some(raw) => {
-            let parsed = raw
-                .split_once('/')
-                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
-            match parsed {
-                Some((i, n)) if n >= 1 && i < n => Some((i, n)),
-                _ => {
-                    return Err(usage_err(format!(
-                        "malformed --shard {raw:?} (expected I/N with I < N)"
-                    )))
-                }
-            }
-        }
-    };
+    let shard_index = parse_shard_flag(flags)?;
     let manifest_path = flags.opt_path("cluster-manifest");
     if shard_index.is_some() != manifest_path.is_some() {
         return Err(usage_err(
@@ -831,6 +900,179 @@ fn serve_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     Ok(attrs)
 }
 
+/// `serve --follow LEADER`: a read-only follower that boots from the
+/// leader's snapshot stream and hot-swaps newer versions as they
+/// publish, instead of loading a model of its own.
+fn serve_follow_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::replica;
+    use viralcast::serve;
+
+    let leader_raw = flags.get("follow").expect("caller checked --follow");
+    let leader: std::net::SocketAddr = leader_raw.parse().map_err(|_| {
+        usage_err(format!(
+            "malformed --follow address {leader_raw:?} (expected HOST:PORT)"
+        ))
+    })?;
+    for (name, why) in [
+        ("embeddings", "the model streams from the leader"),
+        ("corpus", "the model streams from the leader"),
+        ("backend", "the backend id comes from the leader's snapshot"),
+        (
+            "data-dir",
+            "durability lives on the leader; followers are in-memory",
+        ),
+        (
+            "fsync",
+            "durability lives on the leader; followers are in-memory",
+        ),
+        (
+            "segment-bytes",
+            "durability lives on the leader; followers are in-memory",
+        ),
+        (
+            "retrain-interval",
+            "followers adopt leader snapshots instead of training",
+        ),
+        (
+            "min-retrain-batch",
+            "followers adopt leader snapshots instead of training",
+        ),
+    ] {
+        if flags.has(name) {
+            return Err(usage_err(format!(
+                "--{name} is meaningless with --follow ({why})"
+            )));
+        }
+    }
+    let defaults = replica::FollowerConfig::new(leader);
+    let poll_interval = flags.f64("poll-interval", defaults.poll_interval.as_secs_f64())?;
+    if !poll_interval.is_finite() || poll_interval <= 0.0 {
+        return Err(usage_err(
+            "--poll-interval must be a positive number of seconds",
+        ));
+    }
+
+    // The shard row block needs the model's node count before the serve
+    // stack exists, so fetch the leader's snapshot shape up front
+    // (retrying — the leader may still be booting).
+    let boot = {
+        let deadline = std::time::Instant::now() + defaults.boot_timeout;
+        let mut wait = std::time::Duration::from_millis(50);
+        loop {
+            match replica::poll_snapshot(&leader, None, defaults.fetch_timeout) {
+                Ok(replica::Poll::Snapshot(snap)) => break snap,
+                Ok(replica::Poll::NotModified { version }) => {
+                    return Err(runtime_err(format!(
+                        "leader {leader} answered 304 (v{version}) to an \
+                         unconditional snapshot fetch"
+                    )));
+                }
+                Err(e) => {
+                    if std::time::Instant::now() + wait > deadline {
+                        return Err(runtime_err(format!(
+                            "no boot snapshot from leader {leader} within {:.0}s: {e}",
+                            defaults.boot_timeout.as_secs_f64()
+                        )));
+                    }
+                    std::thread::sleep(wait);
+                    wait = (wait * 2).min(std::time::Duration::from_secs(2));
+                }
+            }
+        }
+    };
+    let (nodes, topics) = (boot.model.node_count(), boot.model.topic_count());
+
+    let shard_index = parse_shard_flag(flags)?;
+    let manifest_path = flags.opt_path("cluster-manifest");
+    if shard_index.is_some() != manifest_path.is_some() {
+        return Err(usage_err(
+            "--shard and --cluster-manifest must be given together",
+        ));
+    }
+    let cluster = match (manifest_path, shard_index) {
+        (Some(path), Some((i, n))) => {
+            let manifest = viralcast::cluster::ClusterManifest::load(&path).map_err(runtime_err)?;
+            if manifest.backend != boot.backend {
+                return Err(runtime_err(format!(
+                    "the cluster manifest plans a {:?} cluster but the leader \
+                     streams {:?} snapshots",
+                    manifest.backend, boot.backend
+                )));
+            }
+            if manifest.shard_count() != n {
+                return Err(runtime_err(format!(
+                    "--shard {i}/{n} disagrees with the manifest's {} shard(s)",
+                    manifest.shard_count()
+                )));
+            }
+            Some((manifest, i, n))
+        }
+        _ => None,
+    };
+    let shard_block = match &cluster {
+        Some((manifest, i, _)) => Some(manifest.row_block(*i, nodes).map_err(runtime_err)?),
+        None => None,
+    };
+
+    let config = replica::FollowerConfig {
+        poll_interval: std::time::Duration::from_secs_f64(poll_interval),
+        serve: serve::ServeConfig {
+            addr: flags.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+            workers: flags.usize("workers", 4)?,
+            ingest_capacity: flags.usize("ingest-capacity", 4096)?,
+            access_log: flags.opt_path("access-log"),
+            shard: shard_block.clone(),
+            ..serve::ServeConfig::default()
+        },
+        ..defaults
+    };
+    let handle = replica::start_follower(config).map_err(runtime_err)?;
+    let bound = handle.local_addr();
+    println!(
+        "viralcast-serve listening on http://{bound} \
+         ({} backend, {nodes} nodes × {topics} topics)",
+        boot.backend
+    );
+    println!(
+        "following leader http://{leader}: booted from snapshot v{}, \
+         polling every {poll_interval:.2}s (writes are refused with a leader redirect)",
+        boot.version
+    );
+    if let (Some((_, i, n)), Some(block)) = (&cluster, &shard_block) {
+        println!(
+            "cluster shard {i}/{n} (follower): scanning {} of {nodes} candidate rows",
+            block.owned_count()
+        );
+    }
+    println!("press ctrl-c to stop");
+
+    let shutdown = serve::install_ctrlc();
+    while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutting down…");
+    let status = handle.status();
+    let applied = status.applied_version();
+    let lag = status.lag_versions();
+    handle.shutdown();
+    println!("stopped at applied snapshot v{applied} ({lag} version(s) behind the leader)");
+    let mut attrs: Attrs = vec![
+        ("addr".into(), bound.to_string().into()),
+        ("backend".into(), boot.backend.clone().into()),
+        ("nodes".into(), nodes.into()),
+        ("topics".into(), topics.into()),
+        ("leader".into(), leader.to_string().into()),
+        ("boot_snapshot_version".into(), boot.version.into()),
+        ("applied_snapshot_version".into(), applied.into()),
+        ("replica_lag_versions".into(), lag.into()),
+    ];
+    if let (Some((_, i, n)), Some(block)) = (&cluster, &shard_block) {
+        attrs.push(("shard".into(), format!("{i}/{n}").into()));
+        attrs.push(("shard_rows".into(), block.owned_count().into()));
+    }
+    Ok(attrs)
+}
+
 fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     use viralcast::cluster;
 
@@ -878,6 +1120,34 @@ fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     let manifest = manifest
         .with_backend(backend)
         .map_err(|e| usage_err(format!("--backend: {e}")))?;
+    // ';'-separated per-shard groups of comma-separated follower
+    // addresses; a group may be empty (that shard runs leader-only).
+    let manifest = match flags.get("followers") {
+        Some(raw) => {
+            let groups = raw
+                .split(';')
+                .map(|group| {
+                    group
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|part| !part.is_empty())
+                        .map(|part| {
+                            part.parse::<std::net::SocketAddr>().map_err(|_| {
+                                usage_err(format!(
+                                    "malformed follower address {part:?} in --followers \
+                                     (expected HOST:PORT)"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            manifest
+                .with_followers(groups)
+                .map_err(|e| usage_err(format!("--followers: {e}")))?
+        }
+        None => manifest,
+    };
     manifest.save(&out).map_err(runtime_err)?;
 
     let placement = match &manifest.placement {
@@ -890,11 +1160,24 @@ fn cluster_plan_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         manifest.backend,
         out.display()
     );
+    let mut followers_total = 0usize;
     for i in 0..manifest.shard_count() {
-        println!("  shard {i}: {}", manifest.addr_of(i));
+        let followers = manifest.followers_of(i);
+        followers_total += followers.len();
+        if followers.is_empty() {
+            println!("  shard {i}: {}", manifest.addr_of(i));
+        } else {
+            let list: Vec<String> = followers.iter().map(|a| a.to_string()).collect();
+            println!(
+                "  shard {i}: {} (followers: {})",
+                manifest.addr_of(i),
+                list.join(", ")
+            );
+        }
     }
     Ok(vec![
         ("shards".into(), manifest.shard_count().into()),
+        ("followers".into(), followers_total.into()),
         ("placement".into(), placement.into()),
         ("backend".into(), manifest.backend.clone().into()),
     ])
@@ -1130,6 +1413,57 @@ fn bench_backends_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     Ok(attrs)
 }
 
+fn bench_replica_cmd(flags: &Flags) -> Result<Attrs, CliError> {
+    use viralcast::replica_bench;
+
+    let defaults = replica_bench::ReplicaBenchConfig::default();
+    let duration = flags.f64("duration", defaults.duration.as_secs_f64())?;
+    if !duration.is_finite() || duration <= 0.0 {
+        return Err(usage_err("--duration must be a positive number of seconds"));
+    }
+    let config = replica_bench::ReplicaBenchConfig {
+        nodes: flags.usize("nodes", defaults.nodes)?,
+        topics: flags.usize("topics", defaults.topics)?,
+        shards: flags.usize("shards", defaults.shards)?,
+        followers: flags.usize("followers", defaults.followers)?,
+        workers: flags.usize("workers", defaults.workers)?,
+        duration: std::time::Duration::from_secs_f64(duration),
+        seed: flags.u64("seed", defaults.seed)?,
+    };
+    let out = flags
+        .opt_path("out")
+        .unwrap_or_else(|| PathBuf::from("BENCH_replica.json"));
+    println!(
+        "read scaling over {} shard(s): {} worker(s) for {duration:.1}s per leg, \
+         0 vs {} follower(s) per shard…",
+        config.shards, config.workers, config.followers
+    );
+    let summary = {
+        let _span = Span::enter("bench_replica");
+        replica_bench::run(&config).map_err(usage_err)?
+    };
+    let cell = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.2}"));
+    for leg in &summary.legs {
+        println!(
+            "{} follower(s)/shard: {:.1} req/s ({} reads, {} errors), \
+             p50 {} ms, p99 {} ms",
+            leg.followers,
+            leg.throughput_rps,
+            leg.requests,
+            leg.errors,
+            cell(leg.p50_ms),
+            cell(leg.p99_ms)
+        );
+    }
+    if let Some(speedup) = summary.read_speedup {
+        println!("read throughput ×{speedup:.2} with followers");
+    }
+    let attrs: Attrs = summary.attrs();
+    save_bench_report("bench-replica", &attrs, &out)?;
+    println!("bench report written to {}", out.display());
+    Ok(attrs)
+}
+
 fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     use viralcast::chaos;
 
@@ -1157,6 +1491,15 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     }
     if cluster_shards > 16 {
         return Err(usage_err("--cluster supports at most 16 shards"));
+    }
+    let followers = flags.usize("followers", defaults.followers)?;
+    if followers > 0 && cluster_shards < 2 {
+        return Err(usage_err(
+            "--followers needs --cluster N (followers replicate shard leaders)",
+        ));
+    }
+    if followers > 4 {
+        return Err(usage_err("--followers supports at most 4 per shard"));
     }
     let backend = flags
         .get("backend")
@@ -1199,6 +1542,7 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
         recovery_timeout: std::time::Duration::from_secs_f64(recovery_timeout),
         seed: flags.u64("seed", defaults.seed)?,
         cluster_shards,
+        followers,
         backend: backend.to_string(),
         corpus,
     };
@@ -1208,9 +1552,10 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
 
     if config.cluster_shards >= 2 {
         println!(
-            "chaos: {} worker(s) through a router over {} shard(s), \
-             {} kill cycle(s), {steady:.1}s steady load each…",
-            config.workers, config.cluster_shards, config.cycles
+            "chaos: {} worker(s) through a router over {} shard(s) \
+             ({} follower(s) per shard), {} kill cycle(s), \
+             {steady:.1}s steady load each…",
+            config.workers, config.cluster_shards, config.followers, config.cycles
         );
     } else {
         println!(
@@ -1253,8 +1598,9 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
     );
     if config.cluster_shards >= 2 {
         println!(
-            "router while a shard was down: {} partial response(s), {} non-partial 5xx",
-            summary.partial_responses, summary.non_partial_5xx
+            "router while a shard was down: {} partial response(s), \
+             {} non-partial 5xx, {} degraded read(s)",
+            summary.partial_responses, summary.non_partial_5xx, summary.degraded_reads
         );
     }
 
@@ -1291,6 +1637,13 @@ fn chaos_cmd(flags: &Flags) -> Result<Attrs, CliError> {
             "{} router response(s) were 5xx instead of a partial answer \
              while a shard was down",
             summary.non_partial_5xx
+        )));
+    }
+    if summary.degraded_reads > 0 {
+        return Err(runtime_err(format!(
+            "{} read(s) degraded to partial while a leader was down even \
+             though its follower(s) should have masked the outage",
+            summary.degraded_reads
         )));
     }
     Ok(attrs)

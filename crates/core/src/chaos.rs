@@ -21,6 +21,14 @@
 //! lands in `BENCH_chaos.json` with the same envelope as the other
 //! bench harnesses.
 //!
+//! With `followers ≥ 1` (cluster mode only) every shard leader also
+//! gets that many `serve --follow` replica children, the manifest
+//! upgrades to v2 with the follower topology, and the assertion
+//! *strengthens*: while a leader is a corpse the router must keep
+//! answering reads with `"partial": false` — the follower masks the
+//! outage entirely — so any degraded (partial) read fails the run
+//! instead of being required by it.
+//!
 //! The workload client is [`viralcast_serve::client::request_with_retry`],
 //! so workers ride out each restart with capped jittered backoff instead
 //! of dying with the daemon; exhausted retry budgets are reported as
@@ -80,6 +88,11 @@ pub struct ChaosConfig {
     /// many shards behind a router and kills one random shard per
     /// cycle instead.
     pub cluster_shards: usize,
+    /// Cluster mode only: snapshot-replica followers per shard leader.
+    /// With `≥ 1`, reads must stay **non-partial** while a leader is
+    /// down (the follower answers for it); any degraded read fails the
+    /// run.
+    pub followers: usize,
 }
 
 impl Default for ChaosConfig {
@@ -95,6 +108,7 @@ impl Default for ChaosConfig {
             recovery_timeout: Duration::from_secs(30),
             seed: 1,
             cluster_shards: 0,
+            followers: 0,
         }
     }
 }
@@ -144,13 +158,21 @@ pub struct ChaosSummary {
     /// HTTP) while a shard was down — the router's one forbidden
     /// behaviour. Always 0 for single-box runs.
     pub non_partial_5xx: u64,
+    /// Follower mode: reads that came back `"partial": true` while a
+    /// leader was down even though its follower should have masked the
+    /// outage. Must be 0; always 0 without followers.
+    pub degraded_reads: u64,
 }
 
 impl ChaosSummary {
-    /// Zero acked-event loss, every restart inside its deadline, and
-    /// (cluster mode) never a 5xx while degraded.
+    /// Zero acked-event loss, every restart inside its deadline,
+    /// (cluster mode) never a 5xx while degraded, and (follower mode)
+    /// never a degraded read at all.
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.post_recovery_5xx == 0 && self.non_partial_5xx == 0
+        self.missing.is_empty()
+            && self.post_recovery_5xx == 0
+            && self.non_partial_5xx == 0
+            && self.degraded_reads == 0
     }
 
     /// The summary as run-report attributes (the `BENCH_chaos.json`
@@ -185,6 +207,7 @@ impl ChaosSummary {
             ("post_recovery_5xx".into(), self.post_recovery_5xx.into()),
             ("partial_responses".into(), self.partial_responses.into()),
             ("non_partial_5xx".into(), self.non_partial_5xx.into()),
+            ("degraded_reads".into(), self.degraded_reads.into()),
         ]
     }
 }
@@ -394,7 +417,15 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosSummary, String> {
         .collect();
     let verify = verify_recovered(&config.data_dir, &acked)
         .map_err(|e| format!("cannot replay {}: {e}", config.data_dir.display()))?;
-    Ok(finish_summary(&results, recovery_ms, &acked, verify, 0, 0))
+    Ok(finish_summary(
+        &results,
+        recovery_ms,
+        &acked,
+        verify,
+        0,
+        0,
+        0,
+    ))
 }
 
 /// Refuses a non-empty data directory (creating it if absent), so the
@@ -433,10 +464,11 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
     let shards = config.cluster_shards;
     ensure_empty_data_dir(&config.data_dir)?;
 
-    // Reserve one loopback port per shard, then free them for the
-    // children to bind: the manifest must name fixed addresses.
-    let addrs: Vec<SocketAddr> = {
-        let listeners = (0..shards)
+    // Reserve one loopback port per daemon (leaders first, then every
+    // follower), then free them for the children to bind: the manifest
+    // must name fixed addresses.
+    let reserved: Vec<SocketAddr> = {
+        let listeners = (0..shards * (1 + config.followers))
             .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
             .collect::<io::Result<Vec<_>>>()
             .map_err(|e| format!("cannot reserve shard ports: {e}"))?;
@@ -445,7 +477,15 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
             .map(|l| l.local_addr().expect("bound listener has an address"))
             .collect()
     };
-    let manifest = ClusterManifest::round_robin(&addrs)?.with_backend(&config.backend)?;
+    let addrs: Vec<SocketAddr> = reserved[..shards].to_vec();
+    let follower_addrs: Vec<Vec<SocketAddr>> = (0..shards)
+        .map(|i| {
+            reserved[shards + i * config.followers..shards + (i + 1) * config.followers].to_vec()
+        })
+        .collect();
+    let manifest = ClusterManifest::round_robin(&addrs)?
+        .with_backend(&config.backend)?
+        .with_followers(follower_addrs.clone())?;
     let manifest_path = config.data_dir.join("cluster-manifest.json");
     manifest.save(&manifest_path)?;
 
@@ -480,8 +520,11 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
     } else {
         None
     };
-    let kill_everything = |children: &mut Vec<Child>, router: &mut Option<(Child, SocketAddr)>| {
-        for child in children.iter_mut() {
+    let mut follower_children: Vec<Child> = Vec::new();
+    let kill_everything = |children: &mut Vec<Child>,
+                           followers: &mut Vec<Child>,
+                           router: &mut Option<(Child, SocketAddr)>| {
+        for child in children.iter_mut().chain(followers.iter_mut()) {
             kill_quietly(child);
         }
         if let Some((child, _)) = router.as_mut() {
@@ -490,25 +533,43 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
     };
     let mut router = router;
     if let Some(e) = boot_error {
-        kill_everything(&mut children, &mut router);
+        kill_everything(&mut children, &mut follower_children, &mut router);
         return Err(e);
     }
     let (_, router_addr) = *router.as_ref().expect("router spawned");
 
-    // Wait for every shard, then for the router's view of the model to
+    // Wait for every shard, then boot the followers (their first fetch
+    // needs a live leader), then for the router's view of the model to
     // populate (its /healthz reports nodes once its prober has reached
     // a shard).
     let boot_deadline = Instant::now() + config.recovery_timeout;
     for (i, addr) in addrs.iter().enumerate() {
         if let Err(e) = await_health(addr, boot_deadline) {
-            kill_everything(&mut children, &mut router);
+            kill_everything(&mut children, &mut follower_children, &mut router);
             return Err(format!("shard {i} never became healthy: {e}"));
+        }
+    }
+    for i in 0..shards {
+        for (j, addr) in follower_addrs[i].iter().enumerate() {
+            match spawn_follower(&addrs[i], addr, i, shards, &manifest_path) {
+                Ok((child, _)) => follower_children.push(child),
+                Err(e) => {
+                    kill_everything(&mut children, &mut follower_children, &mut router);
+                    return Err(format!("follower {j} of shard {i}: {e}"));
+                }
+            }
+            if let Err(e) = await_health(addr, boot_deadline) {
+                kill_everything(&mut children, &mut follower_children, &mut router);
+                return Err(format!(
+                    "follower {j} of shard {i} never became healthy: {e}"
+                ));
+            }
         }
     }
     let nodes = match await_node_count(&router_addr, boot_deadline) {
         Ok(nodes) => nodes,
         Err(e) => {
-            kill_everything(&mut children, &mut router);
+            kill_everything(&mut children, &mut follower_children, &mut router);
             return Err(format!("router never reported the model: {e}"));
         }
     };
@@ -525,6 +586,7 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
     let mut recovery_ms: Vec<f64> = Vec::new();
     let mut partial_responses = 0u64;
     let mut non_partial_5xx = 0u64;
+    let mut degraded_reads = 0u64;
     let mut loop_error: Option<String> = None;
     std::thread::scope(|scope| {
         let shared = &shared;
@@ -546,21 +608,40 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
             kill_quietly(&mut children[victim]);
             let deadline = killed_at + config.recovery_timeout;
 
-            // Interrogate the router while the shard is a corpse: it
-            // must degrade (200 + "partial": true), never 5xx.
+            // Interrogate the router while the shard is a corpse.
+            // Without followers it must degrade (200 + "partial": true),
+            // never 5xx; with followers the shard's replica must mask
+            // the outage entirely, so the same probe must stay
+            // "partial": false and any degraded read is a failure.
             let mut partials_seen = 0u64;
-            while partials_seen < PARTIALS_PER_CYCLE && Instant::now() < deadline {
+            let mut full_seen = 0u64;
+            let target = PARTIALS_PER_CYCLE;
+            while partials_seen.max(full_seen) < target && Instant::now() < deadline {
                 match client::request(&router_addr, "POST", "/v1/predict", Some(probe_body)) {
                     Ok(resp) if resp.status >= 500 => non_partial_5xx += 1,
-                    Ok(resp) if resp.status == 200 && resp.body.contains("\"partial\":true") => {
-                        partials_seen += 1;
+                    Ok(resp) if resp.status == 200 => {
+                        if resp.body.contains("\"partial\":true") {
+                            partials_seen += 1;
+                            if config.followers > 0 {
+                                degraded_reads += 1;
+                            }
+                        } else {
+                            full_seen += 1;
+                        }
                     }
                     Ok(_) | Err(_) => {}
                 }
                 std::thread::sleep(Duration::from_millis(25));
             }
             partial_responses += partials_seen;
-            if partials_seen == 0 {
+            if config.followers > 0 && full_seen < target {
+                loop_error = Some(format!(
+                    "cycle {cycle}: router never answered a full (non-partial) read \
+                     while leader {victim} was down despite its follower(s)"
+                ));
+                break;
+            }
+            if config.followers == 0 && partials_seen == 0 {
                 loop_error = Some(format!(
                     "cycle {cycle}: router never answered partial while shard {victim} was down"
                 ));
@@ -587,11 +668,16 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
                     let elapsed = killed_at.elapsed().as_secs_f64() * 1000.0;
                     recovery_ms.push(elapsed);
                     shared.disrupted.store(false, Ordering::SeqCst);
+                    let while_down = if config.followers > 0 {
+                        format!("{full_seen} full read(s) via follower(s) while down")
+                    } else {
+                        format!("{partials_seen} partial response(s) while down")
+                    };
                     obs::info(
                         "chaos",
                         &format!(
                             "cycle {cycle}: shard {victim} recovered in {elapsed:.0} ms \
-                             ({partials_seen} partial response(s) while down)"
+                             ({while_down})"
                         ),
                         &[("addr", addrs[victim].to_string().into())],
                     );
@@ -612,7 +698,8 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
         }
     });
     // The ultimate crash: SIGKILL everything, then audit every disk.
-    kill_everything(&mut children, &mut router);
+    // Followers have no disk of their own — only leader WALs count.
+    kill_everything(&mut children, &mut follower_children, &mut router);
     if let Some(e) = loop_error {
         return Err(e);
     }
@@ -630,6 +717,7 @@ fn run_cluster(config: &ChaosConfig) -> Result<ChaosSummary, String> {
         verify,
         partial_responses,
         non_partial_5xx,
+        degraded_reads,
     ))
 }
 
@@ -654,6 +742,7 @@ fn finish_summary(
     verify: VerifyOutcome,
     partial_responses: u64,
     non_partial_5xx: u64,
+    degraded_reads: u64,
 ) -> ChaosSummary {
     let mut steady_us: Vec<u64> = results
         .iter()
@@ -701,6 +790,7 @@ fn finish_summary(
         post_recovery_5xx: sum(|r| r.post_recovery_5xx),
         partial_responses,
         non_partial_5xx,
+        degraded_reads,
     }
 }
 
@@ -815,6 +905,34 @@ fn spawn_serve(
         cmd.arg(arg);
     }
     spawn_and_scrape(cmd, "serve")
+}
+
+/// Spawns one `viralcast serve --follow` replica child of the leader at
+/// `leader`, bound to `addr` and shard-scoped like its leader. The
+/// tight `--poll-interval` keeps replica lag far below the kill cadence.
+fn spawn_follower(
+    leader: &SocketAddr,
+    addr: &SocketAddr,
+    shard: usize,
+    shards: usize,
+    manifest_path: &Path,
+) -> Result<(Child, SocketAddr), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve")
+        .arg("--follow")
+        .arg(leader.to_string())
+        .arg("--addr")
+        .arg(addr.to_string())
+        .arg("--shard")
+        .arg(format!("{shard}/{shards}"))
+        .arg("--cluster-manifest")
+        .arg(manifest_path)
+        .arg("--poll-interval")
+        .arg("0.05")
+        .arg("--log-level")
+        .arg("error");
+    spawn_and_scrape(cmd, "follower")
 }
 
 /// Spawns the `viralcast router` child fronting the cluster.
@@ -967,6 +1085,7 @@ mod tests {
             post_recovery_5xx: 0,
             partial_responses: 6,
             non_partial_5xx: 0,
+            degraded_reads: 0,
         };
         assert!(summary.passed());
         let json = JsonValue::Obj(summary.attrs()).render();
@@ -981,6 +1100,7 @@ mod tests {
             "\"post_recovery_5xx\":0",
             "\"partial_responses\":6",
             "\"non_partial_5xx\":0",
+            "\"degraded_reads\":0",
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }
@@ -993,8 +1113,15 @@ mod tests {
 
         let outage = ChaosSummary {
             non_partial_5xx: 1,
-            ..summary
+            ..summary.clone()
         };
         assert!(!outage.passed());
+
+        // With followers a degraded (partial) read is itself a failure.
+        let degraded = ChaosSummary {
+            degraded_reads: 2,
+            ..summary
+        };
+        assert!(!degraded.passed());
     }
 }

@@ -30,6 +30,10 @@
 //!   `viralcast chaos`: repeated SIGKILL/restart of a child daemon under
 //!   load, with a final on-disk replay asserting zero acked-event loss
 //!   (`BENCH_chaos.json`).
+//! * [`replica_bench`] — the `viralcast bench-replica` read-scaling
+//!   comparison: the same sharded cluster driven with and without
+//!   followers, reporting read throughput per topology
+//!   (`BENCH_replica.json`).
 //! * [`prelude`] — one-line imports for the common types.
 //!
 //! # Quickstart
@@ -67,6 +71,7 @@ pub mod influencers;
 pub mod loadgen;
 pub mod pipeline;
 pub mod prelude;
+pub mod replica_bench;
 
 pub use experiment::{SbmExperiment, SbmExperimentConfig};
 pub use influencers::{top_influencers, topic_influencers, InfluencerRank};
@@ -85,5 +90,6 @@ pub use viralcast_model as model;
 pub use viralcast_obs as obs;
 pub use viralcast_predict as predict;
 pub use viralcast_propagation as propagation;
+pub use viralcast_replica as replica;
 pub use viralcast_serve as serve;
 pub use viralcast_store as store;

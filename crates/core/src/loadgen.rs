@@ -293,6 +293,63 @@ pub struct LoadgenSummary {
     pub endpoints: Vec<EndpointStats>,
     /// Scenario schedule detail; `None` for closed-loop runs.
     pub scenario: Option<ScenarioStats>,
+    /// What the run was pointed at, probed from `/healthz` — so
+    /// perf-trajectory entries stay comparable across topologies.
+    pub topology: Topology,
+}
+
+/// The serving topology behind the driven address, as `/healthz`
+/// reports it: a single daemon names its backend; a router reports its
+/// shard and follower counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Backend id (`"embed"`, `"netinf"`); `None` when the target is a
+    /// router (the manifest, not /healthz, names the cluster backend).
+    pub backend: Option<String>,
+    /// Shards behind the target (1 for a single daemon).
+    pub cluster_shards: u64,
+    /// Followers behind the target (0 without replication).
+    pub followers: u64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            backend: None,
+            cluster_shards: 1,
+            followers: 0,
+        }
+    }
+}
+
+/// Probes `GET /healthz` on the first answering endpoint and reads the
+/// topology fields. Unanswerable probes fall back to the single-box
+/// default — the bench still records *something* comparable.
+pub fn probe_topology(endpoints: &client::Endpoints) -> Topology {
+    for addr in endpoints.addrs() {
+        let Ok(resp) = client::request(addr, "GET", "/healthz", None) else {
+            continue;
+        };
+        if resp.status != 200 {
+            continue;
+        }
+        let Ok(body) = json::parse(&resp.body) else {
+            continue;
+        };
+        return Topology {
+            backend: match json::get(&body, "backend") {
+                Some(JsonValue::Str(b)) => Some(b.clone()),
+                _ => None,
+            },
+            cluster_shards: json::get(&body, "shards_total")
+                .and_then(json::as_u64)
+                .unwrap_or(1),
+            followers: json::get(&body, "followers_total")
+                .and_then(json::as_u64)
+                .unwrap_or(0),
+        };
+    }
+    Topology::default()
 }
 
 impl LoadgenSummary {
@@ -326,6 +383,15 @@ impl LoadgenSummary {
             ("io_errors".into(), self.io_errors.into()),
             ("retries".into(), self.retries.into()),
             ("shed_rate".into(), self.shed_rate.into()),
+            (
+                "backend".into(),
+                self.topology
+                    .backend
+                    .as_deref()
+                    .map_or(JsonValue::Null, JsonValue::from),
+            ),
+            ("cluster_shards".into(), self.topology.cluster_shards.into()),
+            ("followers".into(), self.topology.followers.into()),
             ("endpoints".into(), endpoints),
         ];
         if let Some(scenario) = &self.scenario {
@@ -427,7 +493,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         }
     });
 
-    Ok(summarise(&results, measured_seconds))
+    let mut summary = summarise(&results, measured_seconds);
+    summary.topology = probe_topology(&config.endpoints);
+    Ok(summary)
 }
 
 /// One scheduled scenario arrival: when to fire (relative to the run
@@ -558,6 +626,7 @@ fn run_scenario(config: &LoadgenConfig, scenario: LoadScenario) -> Result<Loadge
     let burst_len = (burst_end_s - burst_start_s).max(f64::MIN_POSITIVE);
     let outside_len = (config.duration.as_secs_f64() - burst_len).max(f64::MIN_POSITIVE);
     let mut summary = summarise(&results, measured_seconds);
+    summary.topology = probe_topology(&config.endpoints);
     summary.scenario = Some(ScenarioStats {
         name: scenario.label(),
         arrivals,
@@ -775,6 +844,7 @@ fn summarise(results: &[WorkerResult], measured_seconds: f64) -> LoadgenSummary 
         },
         endpoints,
         scenario: None,
+        topology: Topology::default(),
     }
 }
 
@@ -945,6 +1015,9 @@ mod tests {
             "\"shed_rate\":",
             "\"endpoints\":{\"predict\":{\"requests\":2",
             "\"influencers\":{\"requests\":0,\"p50_ms\":null",
+            "\"backend\":null",
+            "\"cluster_shards\":1",
+            "\"followers\":0",
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }
@@ -952,6 +1025,23 @@ mod tests {
             !json.contains("\"scenario\""),
             "closed-loop run grew a scenario"
         );
+
+        // A probed topology (router over 2 shards + 2 followers,
+        // single-box backend) lands in the payload verbatim.
+        let mut clustered = summary.clone();
+        clustered.topology = Topology {
+            backend: Some("netinf".into()),
+            cluster_shards: 2,
+            followers: 2,
+        };
+        let json = JsonValue::Obj(clustered.attrs()).render();
+        for needle in [
+            "\"backend\":\"netinf\"",
+            "\"cluster_shards\":2",
+            "\"followers\":2",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
 
         let mut with_scenario = summary;
         with_scenario.scenario = Some(ScenarioStats {

@@ -1,0 +1,407 @@
+//! The read-scaling comparison behind `viralcast bench-replica`.
+//!
+//! Snapshot-replica followers exist to scale reads: the router fans
+//! `/v1/predict` and `/v1/influencers` across every replica of a shard,
+//! so adding followers should add read throughput without touching the
+//! write path. This harness measures exactly that claim. It boots the
+//! same sharded topology twice — once leader-only, once with
+//! `followers` replicas per shard — in-process (real serve stacks,
+//! real sockets, real replication polls; no child processes), drives
+//! each with a read-only closed loop through a scatter-gather router
+//! for the same wall-clock window, and reports per-leg throughput and
+//! latency plus the throughput ratio (`read_speedup`). The report lands
+//! in `BENCH_replica.json` with the same envelope as the other bench
+//! harnesses.
+//!
+//! The model is synthetic (seeded embeddings, like `bench-hotpath`), so
+//! the run needs no fixture files and is deterministic in shape — only
+//! the timings vary with the machine.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use viralcast_cluster::{start_router, ClusterManifest, RouterConfig};
+use viralcast_embed::Embeddings;
+use viralcast_model::{CascadeModel, EmbeddingBackend};
+use viralcast_obs::JsonValue;
+use viralcast_replica::{start_follower, FollowerConfig, FollowerHandle};
+use viralcast_serve::client::{self, RetryPolicy};
+use viralcast_serve::{RowBlock, ServeConfig, ServerHandle, TrainerConfig};
+
+/// One bench-replica run's knobs.
+#[derive(Clone, Debug)]
+pub struct ReplicaBenchConfig {
+    /// Synthetic model rows.
+    pub nodes: usize,
+    /// Synthetic model topics.
+    pub topics: usize,
+    /// Shard leaders behind the router.
+    pub shards: usize,
+    /// Followers per shard in the replicated leg (the baseline leg
+    /// always runs 0).
+    pub followers: usize,
+    /// Concurrent closed-loop read workers.
+    pub workers: usize,
+    /// Measured wall-clock window per leg.
+    pub duration: Duration,
+    /// Seed for the synthetic embeddings.
+    pub seed: u64,
+}
+
+impl Default for ReplicaBenchConfig {
+    fn default() -> ReplicaBenchConfig {
+        ReplicaBenchConfig {
+            nodes: 200,
+            topics: 4,
+            shards: 2,
+            followers: 1,
+            workers: 4,
+            duration: Duration::from_secs(5),
+            seed: 1,
+        }
+    }
+}
+
+/// What one topology leg measured.
+#[derive(Clone, Debug)]
+pub struct LegReport {
+    /// Followers per shard in this leg.
+    pub followers: usize,
+    /// HTTP 200 reads completed inside the measured window.
+    pub requests: u64,
+    /// Reads that failed (non-200 or below HTTP).
+    pub errors: u64,
+    /// `requests / measured_seconds`.
+    pub throughput_rps: f64,
+    /// Median read latency (None without samples).
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile read latency.
+    pub p99_ms: Option<f64>,
+}
+
+/// The full comparison: both legs plus the headline ratio.
+#[derive(Clone, Debug)]
+pub struct ReplicaBenchSummary {
+    /// Synthetic model rows.
+    pub nodes: usize,
+    /// Synthetic model topics.
+    pub topics: usize,
+    /// Shard leaders per leg.
+    pub shards: usize,
+    /// The measured legs, baseline (0 followers) first.
+    pub legs: Vec<LegReport>,
+    /// Replicated-leg throughput over baseline throughput (None when
+    /// the baseline measured nothing).
+    pub read_speedup: Option<f64>,
+}
+
+impl ReplicaBenchSummary {
+    /// The summary as run-report attributes (the `BENCH_replica.json`
+    /// payload beyond the standard report envelope).
+    pub fn attrs(&self) -> Vec<(String, JsonValue)> {
+        let opt = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::from);
+        let legs: Vec<JsonValue> = self
+            .legs
+            .iter()
+            .map(|leg| {
+                JsonValue::obj(vec![
+                    ("followers", leg.followers.into()),
+                    ("requests", leg.requests.into()),
+                    ("errors", leg.errors.into()),
+                    ("throughput_rps", leg.throughput_rps.into()),
+                    ("p50_ms", opt(leg.p50_ms)),
+                    ("p99_ms", opt(leg.p99_ms)),
+                ])
+            })
+            .collect();
+        vec![
+            ("nodes".into(), self.nodes.into()),
+            ("topics".into(), self.topics.into()),
+            ("shards".into(), self.shards.into()),
+            ("legs".into(), JsonValue::Arr(legs)),
+            ("read_speedup".into(), opt(self.read_speedup)),
+        ]
+    }
+}
+
+/// Runs both legs and returns the comparison.
+pub fn run(config: &ReplicaBenchConfig) -> Result<ReplicaBenchSummary, String> {
+    if config.nodes < 2 || config.topics == 0 {
+        return Err("--nodes must be ≥ 2 and --topics positive".into());
+    }
+    if config.shards == 0 || config.shards > 16 {
+        return Err("--shards must be between 1 and 16".into());
+    }
+    if config.followers == 0 || config.followers > 4 {
+        return Err(
+            "--followers must be between 1 and 4 (the 0-follower baseline is implicit)".into(),
+        );
+    }
+    if config.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    if config.duration.is_zero() {
+        return Err("--duration must be positive".into());
+    }
+    let model = synthetic_model(config);
+    let mut legs = Vec::with_capacity(2);
+    for followers in [0, config.followers] {
+        legs.push(run_leg(config, Arc::clone(&model), followers)?);
+    }
+    let read_speedup = match legs[0].throughput_rps {
+        base if base > 0.0 => Some(legs[1].throughput_rps / base),
+        _ => None,
+    };
+    Ok(ReplicaBenchSummary {
+        nodes: config.nodes,
+        topics: config.topics,
+        shards: config.shards,
+        legs,
+        read_speedup,
+    })
+}
+
+/// Seeded synthetic embeddings, positive everywhere so every node is a
+/// live hazard candidate.
+fn synthetic_model(config: &ReplicaBenchConfig) -> Arc<dyn CascadeModel> {
+    let mut rng = crate::loadgen::XorShift64::new(config.seed);
+    let mut draw = |scale: f64| 0.05 + (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * scale;
+    let count = config.nodes * config.topics;
+    let influence: Vec<f64> = (0..count).map(|_| draw(2.0)).collect();
+    let susceptibility: Vec<f64> = (0..count).map(|_| draw(1.0)).collect();
+    Arc::new(EmbeddingBackend::new(Embeddings::from_matrices(
+        config.nodes,
+        config.topics,
+        influence,
+        susceptibility,
+    )))
+}
+
+/// An identity retrain — the bench never ingests, so the trainer (also
+/// parked on an effectively-infinite batch floor) never runs.
+fn dormant_trainer() -> TrainerConfig {
+    TrainerConfig {
+        interval: Duration::from_secs(3600),
+        min_batch: usize::MAX,
+    }
+}
+
+/// Boots one topology (leaders, followers, router), drives the read
+/// loop for the configured window, and tears everything back down.
+fn run_leg(
+    config: &ReplicaBenchConfig,
+    model: Arc<dyn CascadeModel>,
+    followers: usize,
+) -> Result<LegReport, String> {
+    let block = |shard: usize| RowBlock::round_robin(config.nodes, shard, config.shards);
+    let mut leaders: Vec<ServerHandle> = Vec::new();
+    for shard in 0..config.shards {
+        let handle = viralcast_serve::start(
+            Arc::clone(&model),
+            Box::new(|current, _| Ok(Arc::clone(current))),
+            ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                trainer: dormant_trainer(),
+                shard: Some(block(shard)?),
+                ..ServeConfig::default()
+            },
+        )
+        .map_err(|e| format!("cannot start shard {shard} leader: {e}"))?;
+        leaders.push(handle);
+    }
+    let leader_addrs: Vec<SocketAddr> = leaders.iter().map(|l| l.local_addr()).collect();
+
+    let mut replica_handles: Vec<FollowerHandle> = Vec::new();
+    let mut groups: Vec<Vec<SocketAddr>> = vec![Vec::new(); config.shards];
+    for shard in 0..config.shards {
+        for _ in 0..followers {
+            let handle = start_follower(FollowerConfig {
+                poll_interval: Duration::from_millis(100),
+                serve: ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 2,
+                    shard: Some(block(shard)?),
+                    ..ServeConfig::default()
+                },
+                ..FollowerConfig::new(leader_addrs[shard])
+            })
+            .map_err(|e| format!("cannot start a follower of shard {shard}: {e}"))?;
+            groups[shard].push(handle.local_addr());
+            replica_handles.push(handle);
+        }
+    }
+
+    let manifest = ClusterManifest::round_robin(&leader_addrs)?
+        .with_backend(EmbeddingBackend::ID)?
+        .with_followers(groups)?;
+    let router = start_router(
+        manifest,
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: config.workers.max(2),
+            fanout_workers: (config.shards * (1 + followers)).max(4),
+            shard_timeout: Duration::from_secs(2),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start the router: {e}"))?;
+    let router_addr = router.local_addr();
+
+    // The router's view of the model populates on its first successful
+    // probe; don't start the clock until it answers.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match crate::loadgen::probe_node_count(&router_addr) {
+            Ok(_) => break,
+            Err(e) if Instant::now() > deadline => {
+                return Err(format!("router never reported the model: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let mut per_worker: Vec<(Vec<u64>, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| scope.spawn(move || read_loop(&router_addr, config.nodes, w as u64, stop)))
+            .collect();
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::SeqCst);
+        for handle in handles {
+            per_worker.push(handle.join().unwrap_or_default());
+        }
+    });
+    let measured = started.elapsed().as_secs_f64();
+
+    router.shutdown();
+    for handle in replica_handles {
+        handle.shutdown();
+    }
+    for handle in leaders {
+        handle.shutdown();
+    }
+
+    let mut lat_us: Vec<u64> = per_worker
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    lat_us.sort_unstable();
+    let errors = per_worker.iter().map(|(_, e)| e).sum();
+    let requests = lat_us.len() as u64;
+    Ok(LegReport {
+        followers,
+        requests,
+        errors,
+        throughput_rps: if measured > 0.0 {
+            requests as f64 / measured
+        } else {
+            0.0
+        },
+        p50_ms: crate::loadgen::percentile_ms(&lat_us, 0.50),
+        p99_ms: crate::loadgen::percentile_ms(&lat_us, 0.99),
+    })
+}
+
+/// One closed-loop read worker: predicts mostly, ranks influencers
+/// every fourth exchange, counts anything but a 200 as an error.
+fn read_loop(addr: &SocketAddr, nodes: usize, worker: u64, stop: &AtomicBool) -> (Vec<u64>, u64) {
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut seq = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let started = Instant::now();
+        let outcome = if seq % 4 == 3 {
+            client::request(addr, "GET", "/v1/influencers?top=5", None)
+        } else {
+            let node = (seq.wrapping_mul(7).wrapping_add(worker)) % nodes.max(1) as u64;
+            let body = format!(r#"{{"cascade":[{{"node":{node},"time":0.0}}],"top":5}}"#);
+            client::request(addr, "POST", "/v1/predict", Some(&body))
+        };
+        match outcome {
+            Ok(resp) if resp.status == 200 => {
+                lat_us.push(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+            Ok(_) | Err(_) => errors += 1,
+        }
+        seq += 1;
+    }
+    (lat_us, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_attrs_cover_the_bench_replica_schema() {
+        let summary = ReplicaBenchSummary {
+            nodes: 200,
+            topics: 4,
+            shards: 2,
+            legs: vec![
+                LegReport {
+                    followers: 0,
+                    requests: 1000,
+                    errors: 0,
+                    throughput_rps: 200.0,
+                    p50_ms: Some(1.5),
+                    p99_ms: Some(9.0),
+                },
+                LegReport {
+                    followers: 1,
+                    requests: 1600,
+                    errors: 0,
+                    throughput_rps: 320.0,
+                    p50_ms: Some(1.2),
+                    p99_ms: Some(7.0),
+                },
+            ],
+            read_speedup: Some(1.6),
+        };
+        let json = JsonValue::Obj(summary.attrs()).render();
+        for needle in [
+            "\"nodes\":200",
+            "\"shards\":2",
+            "\"legs\":[{\"followers\":0",
+            "\"requests\":1000",
+            "\"throughput_rps\":200",
+            "\"p99_ms\":9",
+            "\"followers\":1",
+            "\"read_speedup\":1.6",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn both_legs_measure_real_reads_through_the_router() {
+        let summary = run(&ReplicaBenchConfig {
+            nodes: 12,
+            topics: 2,
+            shards: 2,
+            followers: 1,
+            workers: 2,
+            duration: Duration::from_millis(150),
+            seed: 7,
+        })
+        .unwrap();
+        assert_eq!(summary.legs.len(), 2);
+        assert_eq!(summary.legs[0].followers, 0);
+        assert_eq!(summary.legs[1].followers, 1);
+        for leg in &summary.legs {
+            assert!(leg.requests > 0, "leg {} measured nothing", leg.followers);
+            assert_eq!(leg.errors, 0, "leg {} saw read errors", leg.followers);
+        }
+        assert!(summary.read_speedup.is_some());
+    }
+}

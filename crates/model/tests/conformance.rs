@@ -183,11 +183,46 @@ fn updates_return_a_fresh_model_of_the_same_backend() {
         let updated = model.update(&fresh).unwrap_or_else(|e| panic!("{id}: {e}"));
         assert_eq!(updated.backend_id(), id);
         assert_eq!(updated.node_count(), NODES, "{id}");
+        assert_eq!(
+            updated.topic_count(),
+            model.topic_count(),
+            "{id}: update changed the topic count"
+        );
         assert!(
             model
                 .update(&CascadeSet::new(NODES + 1, Vec::new()))
                 .is_err(),
             "{id}: accepted a foreign universe"
         );
+    }
+}
+
+/// The replication stream (and the durable checkpoint) always carries
+/// the *latest* published model — which, on any daemon that has
+/// ingested, is an updated one, not the boot-time fit. Updated models
+/// must therefore survive the codec exactly like fresh ones.
+#[test]
+fn updated_models_still_round_trip_through_the_codec() {
+    let fresh = CascadeSet::new(
+        NODES,
+        vec![Cascade::new(vec![Infection::new(1u32, 0.0), Infection::new(4u32, 0.5)]).unwrap()],
+    );
+    for model in backends() {
+        let id = model.backend_id();
+        let updated = model.update(&fresh).unwrap_or_else(|e| panic!("{id}: {e}"));
+        let back = decode_model(id, &updated.encode()).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(back.backend_id(), id);
+        assert_eq!(back.node_count(), updated.node_count(), "{id}");
+        assert_eq!(back.topic_count(), updated.topic_count(), "{id}");
+        for u in 0..NODES {
+            for v in 0..NODES {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                assert_eq!(
+                    updated.hazard(u, v).to_bits(),
+                    back.hazard(u, v).to_bits(),
+                    "{id}: post-update hazard({u},{v}) drifted across the codec"
+                );
+            }
+        }
     }
 }

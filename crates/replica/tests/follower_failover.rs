@@ -1,0 +1,176 @@
+//! The acceptance scenario from the replica subsystem: a 2-shard
+//! cluster with one follower per shard, fronted by the scatter-gather
+//! router, keeps answering `/v1/predict` and `/v1/influencers` with
+//! non-partial HTTP 200 responses *byte-identical* to the pre-kill
+//! answers after any single leader dies. Daemons here are real serve
+//! stacks on real sockets (the SIGKILL-a-process variant of the same
+//! scenario runs in `scripts/ci.sh` as `smoke_replica`).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use viralcast_cluster::{start_router, ClusterManifest, RouterConfig};
+use viralcast_replica::{start_follower, FollowerConfig};
+use viralcast_serve::client::{self, RetryPolicy};
+use viralcast_serve::{CascadeModel, RowBlock, ServeConfig, ServerHandle, TrainerConfig};
+
+const NODES: usize = 6;
+const TOPICS: usize = 2;
+
+/// 6 nodes × 2 topics with distinct rows, so shard-local rankings are
+/// non-trivial and merge order is fully determined.
+fn embeddings() -> Arc<dyn CascadeModel> {
+    let influence: Vec<f64> = (0..NODES * TOPICS).map(|i| 1.0 + i as f64 * 0.25).collect();
+    let susceptibility: Vec<f64> = (0..NODES * TOPICS).map(|i| 0.5 + i as f64 * 0.1).collect();
+    Arc::new(viralcast_model::EmbeddingBackend::new(
+        viralcast_embed::Embeddings::from_matrices(NODES, TOPICS, influence, susceptibility),
+    ))
+}
+
+fn leader(shard: usize) -> ServerHandle {
+    viralcast_serve::start(
+        embeddings(),
+        Box::new(|model, _| Ok(Arc::clone(model))),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            trainer: TrainerConfig {
+                interval: Duration::from_secs(3600),
+                min_batch: usize::MAX,
+            },
+            shard: Some(RowBlock::round_robin(NODES, shard, 2).unwrap()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn follower(of: SocketAddr, shard: usize) -> viralcast_replica::FollowerHandle {
+    start_follower(FollowerConfig {
+        poll_interval: Duration::from_millis(50),
+        boot_timeout: Duration::from_secs(10),
+        serve: ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            shard: Some(RowBlock::round_robin(NODES, shard, 2).unwrap()),
+            ..ServeConfig::default()
+        },
+        ..FollowerConfig::new(of)
+    })
+    .unwrap()
+}
+
+const PREDICT: &str = r#"{"cascade":[{"node":0,"time":0.0}],"top":4}"#;
+const INFLUENCERS: &str = "/v1/influencers?top=4&topic=1";
+
+#[test]
+fn killing_one_leader_leaves_reads_non_partial_and_byte_identical() {
+    let leaders = [leader(0), leader(1)];
+    let followers = [
+        follower(leaders[0].local_addr(), 0),
+        follower(leaders[1].local_addr(), 1),
+    ];
+    let manifest =
+        ClusterManifest::round_robin(&[leaders[0].local_addr(), leaders[1].local_addr()])
+            .unwrap()
+            .with_followers(vec![
+                vec![followers[0].local_addr()],
+                vec![followers[1].local_addr()],
+            ])
+            .unwrap();
+    let router = start_router(
+        manifest,
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            fanout_workers: 4,
+            shard_timeout: Duration::from_secs(2),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = router.local_addr();
+
+    // The reference answers, with every daemon alive.
+    let pre_predict = client::request(&addr, "POST", "/v1/predict", Some(PREDICT)).unwrap();
+    let pre_influencers = client::request(&addr, "GET", INFLUENCERS, None).unwrap();
+    assert_eq!(pre_predict.status, 200, "{}", pre_predict.body);
+    assert_eq!(pre_influencers.status, 200, "{}", pre_influencers.body);
+    assert!(
+        pre_predict.body.contains(r#""partial":false"#),
+        "{}",
+        pre_predict.body
+    );
+    assert!(
+        pre_influencers.body.contains(r#""partial":false"#),
+        "{}",
+        pre_influencers.body
+    );
+
+    // Kill shard 0's leader. Reads must stay non-partial (the follower
+    // answers for shard 0) and byte-identical to the pre-kill bodies —
+    // repeatedly, so rotation across replicas never changes the answer.
+    let [dead, alive] = leaders;
+    dead.shutdown();
+    for _ in 0..4 {
+        let predict = client::request(&addr, "POST", "/v1/predict", Some(PREDICT)).unwrap();
+        assert_eq!(predict.status, 200, "{}", predict.body);
+        assert_eq!(predict.body, pre_predict.body);
+        let influencers = client::request(&addr, "GET", INFLUENCERS, None).unwrap();
+        assert_eq!(influencers.status, 200, "{}", influencers.body);
+        assert_eq!(influencers.body, pre_influencers.body);
+    }
+
+    // Ingest still routes to the surviving leader through the router…
+    let ingest = client::request(
+        &addr,
+        "POST",
+        "/v1/ingest",
+        Some(r#"{"cascades":[[{"node":1,"time":0.0},{"node":2,"time":1.0}]]}"#),
+    )
+    .unwrap();
+    assert_eq!(ingest.status, 200, "{}", ingest.body);
+    assert!(ingest.body.contains(r#""accepted":1"#), "{}", ingest.body);
+
+    // …while the follower itself refuses writes with a leader redirect.
+    let refused = client::request(
+        &followers[0].local_addr(),
+        "POST",
+        "/v1/ingest",
+        Some(r#"{"cascades":[[{"node":1,"time":0.0}]]}"#),
+    )
+    .unwrap();
+    assert_eq!(refused.status, 409, "{}", refused.body);
+    assert!(
+        refused.header("Location").unwrap().ends_with("/v1/ingest"),
+        "{:?}",
+        refused.headers
+    );
+
+    // Followers report bounded lag in their own /healthz.
+    let health = client::request(&followers[1].local_addr(), "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.contains(r#""replica_lag_versions":0"#),
+        "{}",
+        health.body
+    );
+    assert!(
+        health
+            .body
+            .contains(&format!(r#""leader":"{}""#, alive.local_addr())),
+        "{}",
+        health.body
+    );
+
+    router.shutdown();
+    for f in followers {
+        f.shutdown();
+    }
+    alive.shutdown();
+}

@@ -36,6 +36,30 @@ impl ClientResponse {
     }
 }
 
+/// A response whose body is kept as raw bytes — the replication path
+/// fetches binary checkpoint payloads that a lossy UTF-8 decode would
+/// corrupt.
+#[derive(Clone, Debug)]
+pub struct RawResponse {
+    /// HTTP status code from the status line.
+    pub status: u16,
+    /// Response header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes, verbatim.
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// Sends one request and reads the full response.
 ///
 /// `body` is sent with a `Content-Length` header when present. The
@@ -52,9 +76,38 @@ pub fn request(
 /// An ordered list of `host:port` endpoints — a router plus its shards,
 /// or several replicas — that the load and chaos harnesses address
 /// uniformly instead of doing string surgery on a single `addr`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Rotation starts from a per-process offset (a splitmix64 hash of pid
+/// and boot time) so concurrent harness processes sharing one endpoint
+/// list spread their first attempts across it instead of all hammering
+/// the first address. Equality compares the addresses only, so lists
+/// parsed in different processes still compare equal.
+#[derive(Clone, Debug)]
 pub struct Endpoints {
     addrs: Vec<SocketAddr>,
+    offset: u64,
+}
+
+impl PartialEq for Endpoints {
+    fn eq(&self, other: &Endpoints) -> bool {
+        self.addrs == other.addrs
+    }
+}
+
+impl Eq for Endpoints {}
+
+/// The process-wide rotation offset: hashed once from pid + wall clock,
+/// then shared by every [`Endpoints`] built in this process.
+fn process_rotation_offset() -> u64 {
+    static OFFSET: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *OFFSET.get_or_init(|| {
+        let pid = u64::from(std::process::id());
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(pid ^ now)
+    })
 }
 
 impl Endpoints {
@@ -75,12 +128,26 @@ impl Endpoints {
         if addrs.is_empty() {
             return Err("endpoint list is empty".into());
         }
-        Ok(Endpoints { addrs })
+        Ok(Endpoints {
+            addrs,
+            offset: process_rotation_offset(),
+        })
     }
 
     /// A single-endpoint list.
     pub fn single(addr: SocketAddr) -> Endpoints {
-        Endpoints { addrs: vec![addr] }
+        Endpoints {
+            addrs: vec![addr],
+            offset: process_rotation_offset(),
+        }
+    }
+
+    /// Pins the rotation start to `offset` instead of the per-process
+    /// hash — for tests and callers needing a deterministic first
+    /// target.
+    pub fn with_rotation_offset(mut self, offset: u64) -> Endpoints {
+        self.offset = offset;
+        self
     }
 
     /// The endpoints, in the order given.
@@ -100,10 +167,13 @@ impl Endpoints {
     }
 
     /// The endpoint attempt number `attempt` (0-based) should target:
-    /// round-robin across the list, so consecutive retries rotate away
-    /// from a dead endpoint.
+    /// round-robin across the list from the per-process offset, so
+    /// consecutive retries rotate away from a dead endpoint and
+    /// concurrent processes start from different entries.
     pub fn rotate(&self, attempt: u32) -> &SocketAddr {
-        &self.addrs[attempt as usize % self.addrs.len()]
+        let index =
+            (self.offset.wrapping_add(u64::from(attempt)) % self.addrs.len() as u64) as usize;
+        &self.addrs[index]
     }
 }
 
@@ -141,6 +211,25 @@ pub fn request_with_options(
     headers: &[(&str, &str)],
     timeout: Duration,
 ) -> io::Result<ClientResponse> {
+    let raw = request_bytes(addr, method, target, body, headers, timeout)?;
+    Ok(ClientResponse {
+        status: raw.status,
+        headers: raw.headers,
+        body: String::from_utf8_lossy(&raw.body).into_owned(),
+    })
+}
+
+/// Like [`request_with_options`], but hands back the body as raw bytes.
+/// The replica fetch path uses this: checkpoint payloads are binary and
+/// must survive the trip bit-exactly.
+pub fn request_bytes(
+    addr: &SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> io::Result<RawResponse> {
     let mut stream = TcpStream::connect_timeout(addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -166,7 +255,7 @@ pub fn request_with_options(
 /// response is truncated and surfaces as `UnexpectedEof` (a transient
 /// error [`request_with_retry`] will retry) instead of silently handing
 /// the caller a cut-off body.
-fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+fn parse_response(raw: &[u8]) -> io::Result<RawResponse> {
     let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n");
     let (head_bytes, body_bytes) = match header_end {
         Some(i) => (&raw[..i], &raw[i + 4..]),
@@ -212,10 +301,10 @@ fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
             ));
         }
     }
-    Ok(ClientResponse {
+    Ok(RawResponse {
         status,
         headers,
-        body: String::from_utf8_lossy(body_bytes).into_owned(),
+        body: body_bytes.to_vec(),
     })
 }
 
@@ -360,7 +449,7 @@ mod tests {
         let full = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n0123456789";
         let ok = parse_response(full).unwrap();
         assert_eq!(ok.status, 200);
-        assert_eq!(ok.body, "0123456789");
+        assert_eq!(ok.body, b"0123456789");
 
         let cut = &full[..full.len() - 4];
         let err = parse_response(cut).unwrap_err();
@@ -395,7 +484,9 @@ mod tests {
 
     #[test]
     fn endpoints_parse_and_rotate() {
-        let eps = Endpoints::parse("127.0.0.1:7001, 127.0.0.1:7002,127.0.0.1:7003").unwrap();
+        let eps = Endpoints::parse("127.0.0.1:7001, 127.0.0.1:7002,127.0.0.1:7003")
+            .unwrap()
+            .with_rotation_offset(0);
         assert_eq!(eps.len(), 3);
         assert!(!eps.is_empty());
         assert_eq!(eps.rotate(0).port(), 7001);
@@ -407,6 +498,26 @@ mod tests {
         );
         // Round-trips through its own Display form.
         assert_eq!(Endpoints::parse(&eps.to_string()).unwrap(), eps);
+    }
+
+    #[test]
+    fn rotation_starts_from_the_process_offset() {
+        let spec = "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003";
+        let a = Endpoints::parse(spec).unwrap();
+        let b = Endpoints::parse(spec).unwrap();
+        // All lists in one process share the offset: a harness spawning
+        // many workers still rotates coherently, while a *different*
+        // process (different pid/time hash) would start elsewhere.
+        assert_eq!(a.rotate(0), b.rotate(0));
+        // Whatever the offset, three consecutive attempts cover every
+        // endpoint exactly once.
+        let mut seen: Vec<u16> = (0..3).map(|i| a.rotate(i).port()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![7001, 7002, 7003]);
+        // Pinning the offset makes the start deterministic.
+        let pinned = a.clone().with_rotation_offset(1);
+        assert_eq!(pinned.rotate(0).port(), 7002);
+        assert_eq!(pinned.rotate(2).port(), 7001);
     }
 
     #[test]
@@ -436,7 +547,9 @@ mod tests {
             }
             let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
         });
-        let eps = Endpoints::parse(&format!("127.0.0.1:9,{live}")).unwrap();
+        let eps = Endpoints::parse(&format!("127.0.0.1:9,{live}"))
+            .unwrap()
+            .with_rotation_offset(0);
         let policy = RetryPolicy {
             max_attempts: 4,
             base_backoff: Duration::from_millis(1),

@@ -18,6 +18,9 @@
 //!   cluster places on each daemon (re-exported from `viralcast-model`,
 //!   where the trait's batched scans consume it);
 //! - [`ingest`] — the bounded cascade buffer behind `POST /v1/ingest`;
+//! - [`replica`] — follower-role state: the leader's address plus the
+//!   lag record a replication poller keeps current (the poller itself
+//!   lives in `viralcast-replica`);
 //! - [`api`] — endpoint codecs and model evaluation, socket-free;
 //! - [`trace`] — request-scoped trace IDs (accepted or generated);
 //! - [`router`] — `(method, path)` dispatch over [`router::AppState`];
@@ -37,6 +40,7 @@ pub mod client;
 pub mod http;
 pub mod ingest;
 pub mod json;
+pub mod replica;
 pub mod router;
 pub mod server;
 pub mod shard;
@@ -47,10 +51,11 @@ pub mod trainer;
 
 pub use client::{
     request_with_retry, request_with_retry_on, transient_status, ClientResponse, Endpoints,
-    Retried, RetryPolicy,
+    RawResponse, Retried, RetryPolicy,
 };
 pub use http::{HttpLimits, Request, Response};
 pub use ingest::{DrainedBatch, IngestBuffer, IngestReceipt, TraceMark};
+pub use replica::{ReplicaRole, ReplicaStatus};
 pub use router::DegradeThresholds;
 pub use server::{start, BootRecovery, ServeConfig, ServerHandle};
 pub use shard::RowBlock;

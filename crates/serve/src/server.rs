@@ -67,6 +67,12 @@ pub struct ServeConfig {
     /// Candidate row block this daemon owns when serving as one shard
     /// of a cluster; `None` (the default) serves every row.
     pub shard: Option<crate::shard::RowBlock>,
+    /// Follower role: `Some` makes this daemon a read-only replica —
+    /// the trainer thread is not spawned (snapshots arrive from the
+    /// leader through [`SnapshotStore::publish_version`]), ingest is
+    /// refused with a 409 redirect to the leader, and `/healthz` /
+    /// `/metrics` report replication lag.
+    pub replica: Option<crate::replica::ReplicaRole>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +90,7 @@ impl Default for ServeConfig {
             access_log: None,
             degrade: router::DegradeThresholds::default(),
             shard: None,
+            replica: None,
         }
     }
 }
@@ -262,6 +269,7 @@ pub fn start(
         access_log,
         degrade: config.degrade,
         shard: config.shard.clone().map(Arc::new),
+        replica: config.replica.clone(),
     });
 
     let workers = config.workers.max(1);
@@ -280,14 +288,18 @@ pub fn start(
         );
     }
 
-    threads.push(trainer::spawn(
-        Arc::clone(&snapshots),
-        Arc::clone(&ingest),
-        event_store.clone(),
-        retrain,
-        config.trainer,
-        Arc::clone(&shutdown),
-    ));
+    // Followers never train: their snapshots arrive from the leader,
+    // and a local trainer would fork the version lineage.
+    if config.replica.is_none() {
+        threads.push(trainer::spawn(
+            Arc::clone(&snapshots),
+            Arc::clone(&ingest),
+            event_store.clone(),
+            retrain,
+            config.trainer,
+            Arc::clone(&shutdown),
+        ));
+    }
 
     {
         let shutdown = Arc::clone(&shutdown);

@@ -90,6 +90,28 @@ impl SnapshotStore {
         obs::metrics().counter("serve.snapshot.publishes").incr(1);
         version
     }
+
+    /// Publishes `model` under a caller-chosen version — the follower
+    /// path, where the version comes from the leader's lineage rather
+    /// than a local increment. Monotone-guarded: a version at or below
+    /// the current one is rejected (returns the unchanged current
+    /// version) so stale replication fetches can never roll the store
+    /// backwards.
+    pub fn publish_version(&self, model: Arc<dyn CascadeModel>, version: u64) -> u64 {
+        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+        if version <= slot.version {
+            return slot.version;
+        }
+        *slot = Arc::new(ModelSnapshot {
+            version,
+            model,
+            published_unix: unix_now(),
+        });
+        drop(slot);
+        set_version_gauge(version);
+        obs::metrics().counter("serve.snapshot.publishes").incr(1);
+        version
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +150,21 @@ mod tests {
         assert_eq!(store.publish(emb(0.6)), 8);
         // Version 0 is not a publishable lineage; clamp to the floor.
         assert_eq!(SnapshotStore::with_version(emb(0.5), 0).version(), 1);
+    }
+
+    #[test]
+    fn publish_version_adopts_forward_and_rejects_backward() {
+        let store = SnapshotStore::new(emb(0.5));
+        // Adopt a leader version far ahead of the local lineage.
+        assert_eq!(store.publish_version(emb(0.7), 9), 9);
+        assert_eq!(store.version(), 9);
+        assert_eq!(probe(&store.current()), 0.7 * 0.7);
+        // Stale and equal versions are rejected without swapping.
+        assert_eq!(store.publish_version(emb(0.9), 9), 9);
+        assert_eq!(store.publish_version(emb(0.9), 3), 9);
+        assert_eq!(probe(&store.current()), 0.7 * 0.7);
+        // A local publish resumes after the adopted version.
+        assert_eq!(store.publish(emb(0.8)), 10);
     }
 
     #[test]

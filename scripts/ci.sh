@@ -438,12 +438,104 @@ smoke_cluster() {
     echo "cluster smoke test OK (router port $rport, partial answer after shard kill)"
 }
 
+# Replication smoke: a leader and one `serve --follow` follower. The
+# follower must boot from the leader's snapshot stream, refuse writes
+# with a 409 leader redirect, and — after the leader is SIGKILLed —
+# keep answering reads with non-partial HTTP 200s from its replicated
+# model.
+smoke_replica() {
+    local tmp fixture lport fport lpid fpid reply ok
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    fixture="$tmp/embeddings.json"
+    write_fixture "$fixture"
+
+    target/release/viralcast serve --embeddings "$fixture" \
+        --addr 127.0.0.1:0 --workers 2 >"$tmp/leader.log" 2>&1 &
+    lpid=$!
+    lport="$(await_port "$tmp/leader.log")"
+    if [ -z "$lport" ] || ! await_health "$lport" | grep -q '"status":"ok"'; then
+        echo "leader never became healthy" >&2
+        cat "$tmp/leader.log" >&2
+        kill "$lpid" 2>/dev/null || true
+        return 1
+    fi
+
+    target/release/viralcast serve --follow "127.0.0.1:$lport" \
+        --addr 127.0.0.1:0 --workers 2 --poll-interval 0.1 \
+        >"$tmp/follower.log" 2>&1 &
+    fpid=$!
+    fport="$(await_port "$tmp/follower.log")"
+    if [ -z "$fport" ] || ! await_health "$fport" | grep -q '"status":"ok"'; then
+        echo "follower never became healthy" >&2
+        cat "$tmp/follower.log" "$tmp/leader.log" >&2
+        kill "$lpid" "$fpid" 2>/dev/null || true
+        return 1
+    fi
+    # A healthy, caught-up follower reports its lag.
+    if ! http_get "$fport" /healthz | grep -q '"replica_lag_versions":0'; then
+        echo "follower /healthz is missing replica_lag_versions:0" >&2
+        http_get "$fport" /healthz >&2 || true
+        kill "$lpid" "$fpid" 2>/dev/null || true
+        return 1
+    fi
+
+    # Writes are refused with a redirect to the leader, never accepted.
+    reply="$(http_post "$fport" /v1/ingest \
+        '{"cascades":[[{"node":0,"time":0.0},{"node":1,"time":0.5}]]}')"
+    case "$reply" in
+        *'HTTP/1.1 409'*"Location: http://127.0.0.1:$lport/v1/ingest"*) ;;
+        *)
+            echo "follower ingest did not 409-redirect to the leader: $reply" >&2
+            kill "$lpid" "$fpid" 2>/dev/null || true
+            return 1
+            ;;
+    esac
+
+    # The leader dies hard; the follower keeps serving reads.
+    kill -9 "$lpid"
+    ok=0
+    for _ in $(seq 1 25); do
+        reply="$(http_post "$fport" /v1/predict \
+            '{"cascade":[{"node":0,"time":0.0}],"top":3}' 2>/dev/null || true)"
+        case "$reply" in
+            *'HTTP/1.1 5'*)
+                echo "follower answered 5xx after the leader died" >&2
+                echo "$reply" >&2
+                kill "$fpid" 2>/dev/null || true
+                return 1
+                ;;
+            *'"partial":true'*)
+                echo "follower served a partial read after the leader died" >&2
+                echo "$reply" >&2
+                kill "$fpid" 2>/dev/null || true
+                return 1
+                ;;
+            *'HTTP/1.1 200'*'"candidates":'*) ok=1; break ;;
+        esac
+        sleep 0.2
+    done
+    if [ "$ok" -ne 1 ]; then
+        echo "follower never served a full read after the leader died" >&2
+        cat "$tmp/follower.log" >&2
+        kill "$fpid" 2>/dev/null || true
+        return 1
+    fi
+
+    kill -INT "$fpid"
+    wait "$fpid" # a clean shutdown exits 0; set -e fails the sweep otherwise
+    echo "replica smoke test OK (leader port $lport, follower port $fport survived the kill)"
+}
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$build" -eq 1 ]; then
     # --workspace: a root-package build compiles member *libs* but not the
     # `viralcast` bin the smoke tests drive.
     run cargo build --release --workspace
+    # Examples are not part of --workspace's default targets; keep them
+    # compiling (they are the README's executable documentation).
+    run cargo build --release --examples
 fi
 run cargo test -q --workspace
 if [ "$build" -eq 1 ]; then
@@ -452,6 +544,7 @@ if [ "$build" -eq 1 ]; then
     run smoke_chaos
     run smoke_loadgen
     run smoke_cluster
+    run smoke_replica
 fi
 
 echo
